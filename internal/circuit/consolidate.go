@@ -1,0 +1,254 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/weyl"
+)
+
+// ConsolidateBlocks merges maximal runs of gates acting within a
+// single qubit pair into one 2Q "block" op whose Weyl coordinate is
+// annotated. This mirrors Qiskit's ConsolidateBlocks pass with the
+// paper's performance rewrite (Section VI-C / Fig. 13a): the
+// coordinate is computed from the block *interior* — exterior 1Q
+// layers cannot change it — and the interior unitary doubles as the
+// key of a process-wide coordinate cache.
+func ConsolidateBlocks(c *Circuit) *Circuit {
+	out := New(c.Name, c.NumQubits)
+
+	type block struct {
+		a, b     int // a < b
+		leading  [2]*linalg.Matrix
+		interior *linalg.Matrix
+		trailing [2]*linalg.Matrix
+		count    int
+	}
+	active := map[[2]int]*block{}
+	owner := make(map[int][2]int) // qubit -> pair key
+	pending := make([]*linalg.Matrix, c.NumQubits)
+
+	id2 := linalg.Identity(2)
+	sw := gates.SWAP().Matrix()
+
+	orient := func(op Op, a int) *linalg.Matrix {
+		// Return the op matrix in (a, b) wire order.
+		if op.Qubits[0] == a {
+			return op.Gate.Matrix()
+		}
+		return sw.Mul(op.Gate.Matrix()).Mul(sw)
+	}
+	side := func(bl *block, q int) int {
+		if q == bl.a {
+			return 0
+		}
+		return 1
+	}
+	embed1Q := func(m *linalg.Matrix, s int) *linalg.Matrix {
+		// Wire a is the most significant bit of the 4x4 index.
+		if s == 0 {
+			return m.Kron(id2)
+		}
+		return id2.Kron(m)
+	}
+
+	flush := func(bl *block) {
+		delete(active, [2]int{bl.a, bl.b})
+		delete(owner, bl.a)
+		delete(owner, bl.b)
+		full := embed1Q(bl.trailing[0], 0).Mul(embed1Q(bl.trailing[1], 1)).
+			Mul(bl.interior).
+			Mul(embed1Q(bl.leading[0], 0)).Mul(embed1Q(bl.leading[1], 1))
+		coord := cachedCoordinate(bl.interior)
+		out.Append(Op{
+			Gate:   gates.NewCustom("block", 2, full),
+			Qubits: []int{bl.a, bl.b},
+			Coord:  &coord,
+		})
+	}
+	flushQubit := func(q int) {
+		if key, ok := owner[q]; ok {
+			flush(active[key])
+		}
+	}
+	flushPending := func(q int) {
+		if pending[q] != nil {
+			out.Append(Op{Gate: gates.NewCustom("u", 1, pending[q]), Qubits: []int{q}})
+			pending[q] = nil
+		}
+	}
+
+	for _, op := range c.Ops {
+		switch len(op.Qubits) {
+		case 1:
+			q := op.Qubits[0]
+			if key, ok := owner[q]; ok {
+				bl := active[key]
+				s := side(bl, q)
+				bl.trailing[s] = op.Gate.Matrix().Mul(bl.trailing[s])
+				bl.count++
+				continue
+			}
+			if pending[q] == nil {
+				pending[q] = op.Gate.Matrix().Copy()
+			} else {
+				pending[q] = op.Gate.Matrix().Mul(pending[q])
+			}
+		case 2:
+			a, b := op.Qubits[0], op.Qubits[1]
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if bl, ok := active[key]; ok {
+				// Fold any trailing 1Q layers back into the interior,
+				// then absorb the gate.
+				for s := 0; s < 2; s++ {
+					bl.interior = embed1Q(bl.trailing[s], s).Mul(bl.interior)
+					bl.trailing[s] = id2
+				}
+				bl.interior = orient(op, a).Mul(bl.interior)
+				bl.count++
+				continue
+			}
+			// The pair changes: close blocks that share a wire.
+			flushQubit(a)
+			flushQubit(b)
+			bl := &block{
+				a: a, b: b,
+				leading:  [2]*linalg.Matrix{id2, id2},
+				interior: orient(op, a),
+				trailing: [2]*linalg.Matrix{id2, id2},
+				count:    1,
+			}
+			if pending[a] != nil {
+				bl.leading[0] = pending[a]
+				pending[a] = nil
+			}
+			if pending[b] != nil {
+				bl.leading[1] = pending[b]
+				pending[b] = nil
+			}
+			active[key] = bl
+			owner[a], owner[b] = key, key
+		default:
+			// Multi-qubit op: flush everything it touches and emit as-is.
+			for _, q := range op.Qubits {
+				flushQubit(q)
+				flushPending(q)
+			}
+			out.Append(op)
+		}
+	}
+	// Flush remaining blocks in wire order for determinism.
+	for q := 0; q < c.NumQubits; q++ {
+		flushQubit(q)
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		flushPending(q)
+	}
+	return out
+}
+
+// --- Coordinate cache (paper Fig. 13a) ---
+
+var (
+	coordCache   = map[string]weyl.Coordinate{}
+	coordCacheMu sync.Mutex
+	coordHits    int64
+	coordMisses  int64
+)
+
+// cachedCoordinate returns the Weyl coordinate of a 4x4 unitary,
+// memoised on the quantised matrix entries.
+func cachedCoordinate(m *linalg.Matrix) weyl.Coordinate {
+	key := matrixKey(m)
+	coordCacheMu.Lock()
+	if c, ok := coordCache[key]; ok {
+		coordHits++
+		coordCacheMu.Unlock()
+		return c
+	}
+	coordMisses++
+	coordCacheMu.Unlock()
+
+	c, err := weyl.CoordinateOf(m)
+	if err != nil {
+		// Blocks are products of unitaries, so this indicates numerical
+		// trouble; fall back to the origin rather than crashing.
+		c = weyl.IdentityCoord
+	}
+	coordCacheMu.Lock()
+	coordCache[key] = c
+	coordCacheMu.Unlock()
+	return c
+}
+
+// CoordinateCacheStats reports cumulative hits and misses of the
+// consolidation coordinate cache.
+func CoordinateCacheStats() (hits, misses int64) {
+	coordCacheMu.Lock()
+	defer coordCacheMu.Unlock()
+	return coordHits, coordMisses
+}
+
+// ResetCoordinateCache clears the cache (for benchmarks that measure
+// cold vs warm behaviour).
+func ResetCoordinateCache() {
+	coordCacheMu.Lock()
+	defer coordCacheMu.Unlock()
+	coordCache = map[string]weyl.Coordinate{}
+	coordHits, coordMisses = 0, 0
+}
+
+func matrixKey(m *linalg.Matrix) string {
+	buf := make([]byte, 0, len(m.Data)*8)
+	for _, v := range m.Data {
+		buf = appendQuantised(buf, real(v))
+		buf = appendQuantised(buf, imag(v))
+	}
+	return string(buf)
+}
+
+func appendQuantised(buf []byte, v float64) []byte {
+	q := int32(math.Round(v * 1e7))
+	return append(buf, byte(q), byte(q>>8), byte(q>>16), byte(q>>24))
+}
+
+// OpCoordinate returns the Weyl coordinate of a 2Q op, preferring the
+// annotation and falling back to the (cached) matrix computation.
+func OpCoordinate(op Op) weyl.Coordinate {
+	if op.Coord != nil {
+		return *op.Coord
+	}
+	return cachedCoordinate(op.Gate.Matrix())
+}
+
+// AnnotateCoordinates fills Op.Coord for every 2Q op that lacks it
+// (without consolidating), using the coordinate cache.
+func AnnotateCoordinates(c *Circuit) {
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Is2Q() && op.Coord == nil {
+			coord := cachedCoordinate(op.Gate.Matrix())
+			op.Coord = &coord
+		}
+	}
+}
+
+// BlockCount returns a human-readable summary of block sizes after
+// consolidation (used by tooling).
+func BlockCount(c *Circuit) string {
+	blocks, singles := 0, 0
+	for _, op := range c.Ops {
+		if op.Is2Q() {
+			blocks++
+		} else {
+			singles++
+		}
+	}
+	return fmt.Sprintf("%d 2Q blocks, %d 1Q ops", blocks, singles)
+}

@@ -1,0 +1,193 @@
+package decompose
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/optimize"
+)
+
+// ProcessFidelity returns |Tr(A^dagger B)|^2 / d^2 for equal-sized
+// square matrices: 1 iff A and B agree up to global phase.
+func ProcessFidelity(a, b *linalg.Matrix) float64 {
+	tr := cmplx.Abs(a.Dagger().Mul(b).Trace())
+	d := float64(a.Rows)
+	return tr * tr / (d * d)
+}
+
+// AvgGateFidelity converts process fidelity to average gate fidelity:
+// (d Fpro + 1) / (d + 1).
+func AvgGateFidelity(a, b *linalg.Matrix) float64 {
+	d := float64(a.Rows)
+	return (d*ProcessFidelity(a, b) + 1) / (d + 1)
+}
+
+// SynthesisResult is a fitted Cartan ansatz: k applications of the
+// basis gate interleaved with k+1 local layers.
+//
+//	U ~= L_0 . B . L_1 . B ... B . L_k  (up to global phase)
+//
+// Locals[i] holds the pair of 1Q matrices of layer i.
+type SynthesisResult struct {
+	K        int
+	Params   []float64
+	Locals   [][2]*linalg.Matrix
+	Fidelity float64 // process fidelity vs the target
+}
+
+// ansatzUnitary builds the ansatz for the given parameter vector
+// (6 angles per local layer, k+1 layers).
+func ansatzUnitary(basis *linalg.Matrix, k int, params []float64) *linalg.Matrix {
+	layer := func(i int) *linalg.Matrix {
+		p := params[6*i : 6*i+6]
+		return gates.U3(p[0], p[1], p[2]).Matrix().Kron(gates.U3(p[3], p[4], p[5]).Matrix())
+	}
+	u := layer(0)
+	for i := 1; i <= k; i++ {
+		u = u.Mul(basis).Mul(layer(i))
+	}
+	return u
+}
+
+// SynthOptions tunes numerical synthesis.
+type SynthOptions struct {
+	Restarts int     // Nelder-Mead restarts (default 12)
+	MaxIter  int     // evaluations per restart (default 4000)
+	Target   float64 // stop early when 1 - fidelity < Target (default 1e-10)
+	Seed     int64   // RNG seed (default 1)
+}
+
+func (o SynthOptions) withDefaults() SynthOptions {
+	if o.Restarts <= 0 {
+		o.Restarts = 12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 4000
+	}
+	if o.Target <= 0 {
+		o.Target = 1e-10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Synthesize fits a k-layer ansatz in the given basis to the target
+// unitary, returning the best result found. The fidelity is reported
+// exactly (re-evaluated from the fitted parameters); callers decide
+// whether it is acceptable.
+func Synthesize(target *linalg.Matrix, basis gates.Gate, k int, opts SynthOptions) *SynthesisResult {
+	opts = opts.withDefaults()
+	bm := basis.Matrix()
+	dim := 6 * (k + 1)
+	obj := func(p []float64) float64 {
+		return 1 - ProcessFidelity(target, ansatzUnitary(bm, k, p))
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	bestV := math.Inf(1)
+	var bestX []float64
+	for r := 0; r < opts.Restarts && bestV > opts.Target; r++ {
+		start := make([]float64, dim)
+		for i := range start {
+			start[i] = rng.Float64() * 2 * math.Pi
+		}
+		x, v := optimize.NelderMead(obj, start, optimize.Options{
+			MaxIter: opts.MaxIter, InitialStep: 0.7, Tol: 1e-14,
+		})
+		if v < bestV {
+			bestV, bestX = v, x
+		}
+	}
+	res := &SynthesisResult{K: k, Params: bestX, Fidelity: 1 - bestV}
+	for i := 0; i <= k; i++ {
+		p := bestX[6*i : 6*i+6]
+		res.Locals = append(res.Locals, [2]*linalg.Matrix{
+			gates.U3(p[0], p[1], p[2]).Matrix(),
+			gates.U3(p[3], p[4], p[5]).Matrix(),
+		})
+	}
+	return res
+}
+
+// Unitary rebuilds the synthesised unitary from the fitted locals.
+func (r *SynthesisResult) Unitary(basis gates.Gate) *linalg.Matrix {
+	u := r.Locals[0][0].Kron(r.Locals[0][1])
+	bm := basis.Matrix()
+	for i := 1; i <= r.K; i++ {
+		u = u.Mul(bm).Mul(r.Locals[i][0].Kron(r.Locals[i][1]))
+	}
+	return u
+}
+
+// --- Canned translation rules ---
+//
+// The paper adds CNOT and SWAP rules for sqrt-iSWAP to Qiskit's
+// equivalence library (Section V). We synthesise each rule once, to
+// machine precision, and cache it; thereafter it behaves as an exact
+// translation rule.
+
+type ruleKey struct {
+	gate  string
+	basis string
+	k     int
+}
+
+var (
+	ruleCache   = map[ruleKey]*SynthesisResult{}
+	ruleCacheMu sync.Mutex
+)
+
+// Rule returns the cached decomposition of the named standard gate
+// into k applications of the basis, synthesising it on first use. It
+// panics if the rule cannot be realised with fidelity > 1 - 1e-8
+// (these are known-exact decompositions, e.g. CNOT into two
+// sqrt-iSWAPs, paper Fig. 1).
+func Rule(g gates.Gate, basis gates.Gate, k int) *SynthesisResult {
+	key := ruleKey{gate: g.String(), basis: basis.Name, k: k}
+	ruleCacheMu.Lock()
+	defer ruleCacheMu.Unlock()
+	if r, ok := ruleCache[key]; ok {
+		return r
+	}
+	res := Synthesize(g.Matrix(), basis, k, SynthOptions{Restarts: 40, MaxIter: 6000, Seed: 11})
+	if res.Fidelity < 1-1e-8 {
+		panic(fmt.Sprintf("decompose: rule %s into %d x %s only reached fidelity %.12f",
+			g.String(), k, basis.Name, res.Fidelity))
+	}
+	ruleCache[key] = res
+	return res
+}
+
+// --- Fidelity model (paper Eq. 2) ---
+
+// FidelityModel is the decoherence-limited error model: a gate of
+// duration t has fidelity exp(-t / T1). Durations are normalised so
+// that one iSWAP costs 1.0 (and iSWAP^{1/n} costs 1/n).
+type FidelityModel struct {
+	T1 float64
+}
+
+// NewPaperFidelityModel calibrates T1 so that one iSWAP has fidelity
+// 0.99 (paper Section III-C).
+func NewPaperFidelityModel() FidelityModel {
+	return FidelityModel{T1: -1 / math.Log(0.99)}
+}
+
+// GateFidelity returns the fidelity of a single gate of the given
+// normalised duration.
+func (m FidelityModel) GateFidelity(duration float64) float64 {
+	return math.Exp(-duration / m.T1)
+}
+
+// CircuitFidelity returns the fidelity of a sequence of basis gates
+// with the given total normalised duration (1Q gates are free in this
+// model, matching the paper).
+func (m FidelityModel) CircuitFidelity(totalDuration float64) float64 {
+	return math.Exp(-totalDuration / m.T1)
+}

@@ -1,0 +1,163 @@
+package decompose
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/polytope"
+)
+
+// BasisTranslator converts routed circuits into literal basis-gate
+// pulse sequences: every 2Q block becomes k applications of the basis
+// gate interleaved with fitted 1Q layers, with k chosen by the
+// coverage polytopes (the paper's final decomposition stage, kept
+// separate from routing exactly as Section IV-B prescribes: "the
+// actual decomposition can be specified later").
+type BasisTranslator struct {
+	Basis    gates.Gate
+	Coverage *polytope.CoverageSet
+	Synth    SynthOptions
+
+	mu    sync.Mutex
+	cache map[string]*SynthesisResult
+}
+
+// NewBasisTranslator builds a translator with a shared synthesis
+// cache.
+func NewBasisTranslator(cov *polytope.CoverageSet, synth SynthOptions) *BasisTranslator {
+	return &BasisTranslator{
+		Basis:    cov.Basis,
+		Coverage: cov,
+		Synth:    synth,
+		cache:    map[string]*SynthesisResult{},
+	}
+}
+
+// Translate rewrites the circuit into basis + 1Q gates. 2Q ops whose
+// class is local (k = 0) become a pair of 1Q gates. The result
+// satisfies: Unitary(out) == Unitary(in) up to global phase, which
+// TranslateVerified enforces.
+func (t *BasisTranslator) Translate(c *circuit.Circuit) (*circuit.Circuit, error) {
+	out := circuit.New(c.Name+"_"+t.Basis.Name, c.NumQubits)
+	for _, op := range c.Ops {
+		if !op.Is2Q() {
+			out.Append(op)
+			continue
+		}
+		if err := t.appendTranslated(out, op); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (t *BasisTranslator) appendTranslated(out *circuit.Circuit, op circuit.Op) error {
+	coord := circuit.OpCoordinate(op)
+	region, ok := t.Coverage.MinCost(coord, false)
+	if !ok {
+		return fmt.Errorf("decompose: no coverage region for coordinate %v", coord)
+	}
+	res, err := t.fit(op.Gate.Matrix(), region.K)
+	if err != nil {
+		return fmt.Errorf("decompose: %s: %w", op.Gate.String(), err)
+	}
+	a, b := op.Qubits[0], op.Qubits[1]
+	emit1Q := func(pair [2]*linalg.Matrix) {
+		for side, q := range []int{a, b} {
+			m := pair[side]
+			if !m.EqualUpToGlobalPhase(linalg.Identity(2), 1e-9) {
+				out.Append(circuit.Op{Gate: gates.NewCustom("u", 1, m), Qubits: []int{q}})
+			}
+		}
+	}
+	// The fitted product is U = L_0 B L_1 B ... B L_k (matrix order),
+	// so the temporally-first op is L_k: emit layers in reverse.
+	emit1Q(res.Locals[res.K])
+	for layer := res.K; layer >= 1; layer-- {
+		out.Append(circuit.Op{Gate: t.Basis, Qubits: []int{a, b}})
+		emit1Q(res.Locals[layer-1])
+	}
+	return nil
+}
+
+// fit synthesises (or recalls) the decomposition of a 4x4 unitary into
+// k basis applications.
+func (t *BasisTranslator) fit(u *linalg.Matrix, k int) (*SynthesisResult, error) {
+	key := matrixCacheKey(u, k)
+	t.mu.Lock()
+	if r, ok := t.cache[key]; ok {
+		t.mu.Unlock()
+		return r, nil
+	}
+	t.mu.Unlock()
+
+	opts := t.Synth
+	res := Synthesize(u, t.Basis, k, opts)
+	if res.Fidelity < 1-1e-7 {
+		// One escalation: more restarts and iterations.
+		opts.Restarts *= 3
+		if opts.Restarts == 0 {
+			opts.Restarts = 36
+		}
+		opts.MaxIter = 8000
+		opts.Seed += 31
+		res = Synthesize(u, t.Basis, k, opts)
+	}
+	if res.Fidelity < 1-1e-6 {
+		return nil, fmt.Errorf("synthesis with k=%d plateaued at fidelity %.9f", k, res.Fidelity)
+	}
+	t.mu.Lock()
+	t.cache[key] = res
+	t.mu.Unlock()
+	return res, nil
+}
+
+// TranslateVerified translates and checks unitary equivalence (only
+// for circuits small enough for full-matrix evaluation).
+func (t *BasisTranslator) TranslateVerified(c *circuit.Circuit, tol float64) (*circuit.Circuit, error) {
+	out, err := t.Translate(c)
+	if err != nil {
+		return nil, err
+	}
+	uc, err := c.Unitary()
+	if err != nil {
+		return nil, err
+	}
+	uo, err := out.Unitary()
+	if err != nil {
+		return nil, err
+	}
+	if !uo.EqualUpToGlobalPhase(uc, tol) {
+		return nil, fmt.Errorf("decompose: translation drifted by %g", uo.MaxAbsDiff(uc))
+	}
+	return out, nil
+}
+
+func matrixCacheKey(m *linalg.Matrix, k int) string {
+	buf := make([]byte, 0, len(m.Data)*8+1)
+	buf = append(buf, byte(k))
+	for _, v := range m.Data {
+		for _, f := range [2]float64{real(v), imag(v)} {
+			q := int32(math.Round(f * 1e7))
+			buf = append(buf, byte(q), byte(q>>8), byte(q>>16), byte(q>>24))
+		}
+	}
+	return string(buf)
+}
+
+// PulseDepth returns the basis-pulse critical path of a translated
+// circuit (each basis application = 1 pulse, 1Q free) — the unit used
+// in paper Fig. 8. A translated mirror gate needs no special handling:
+// its matrix already contains the absorbed SWAP.
+func PulseDepth(c *circuit.Circuit) float64 {
+	return c.Depth(func(op circuit.Op) float64 {
+		if op.Is2Q() {
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,119 @@
+package decompose
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/polytope"
+)
+
+func translator() *BasisTranslator {
+	return NewBasisTranslator(polytope.NewISwapRootCoverage(2),
+		SynthOptions{Restarts: 16, MaxIter: 5000, Seed: 21})
+}
+
+func TestTranslateBellCircuit(t *testing.T) {
+	c := circuit.New("bell", 2)
+	c.Add(gates.H(), 0)
+	c.Add(gates.CX(), 0, 1)
+	out, err := translator().TranslateVerified(c, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only basis + 1Q gates may remain.
+	basisName := translator().Basis.Name
+	basisCount := 0
+	for _, op := range out.Ops {
+		if op.Is2Q() {
+			if op.Gate.Name != basisName {
+				t.Fatalf("non-basis 2Q gate %s in output", op.Gate.Name)
+			}
+			basisCount++
+		}
+	}
+	if basisCount != 2 {
+		t.Fatalf("CX translated into %d sqrt-iSWAPs, want 2 (paper Fig. 1a)", basisCount)
+	}
+}
+
+func TestTranslateSwapUsesThreePulses(t *testing.T) {
+	c := circuit.New("sw", 2)
+	c.Add(gates.SWAP(), 0, 1)
+	out, err := translator().TranslateVerified(c, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Count2Q(); got != 3 {
+		t.Fatalf("SWAP translated into %d pulses, want 3", got)
+	}
+}
+
+func TestTranslateMirroredBlock(t *testing.T) {
+	// A CNS (mirrored CNOT) must translate into 2 pulses — the free
+	// data movement at the heart of MIRAGE.
+	c := circuit.New("cns", 2)
+	c.Append(circuit.Op{Gate: gates.CNS(), Qubits: []int{0, 1}, Mirrored: true})
+	out, err := translator().TranslateVerified(c, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Count2Q(); got != 2 {
+		t.Fatalf("CNS translated into %d pulses, want 2 (paper Fig. 1b)", got)
+	}
+}
+
+func TestTranslateRoutedCircuitEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end synthesis is slow")
+	}
+	// Small mixed circuit: translate and verify the unitary.
+	rng := rand.New(rand.NewSource(3))
+	c := circuit.New("e2e", 3)
+	c.Add(gates.H(), 0)
+	c.Add(gates.CX(), 0, 1)
+	c.Add(gates.CPhase(0.9), 1, 2)
+	c.Add(gates.RY(0.4), 2)
+	c.Add(gates.CX(), 2, 0)
+	_ = rng
+	cons := circuit.ConsolidateBlocks(c)
+	out, err := translator().TranslateVerified(cons, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PulseDepth(out) <= 0 {
+		t.Fatal("translated circuit has zero pulse depth")
+	}
+	// And the translation must agree with the original pre-consolidation
+	// circuit as well.
+	uc, _ := c.Unitary()
+	uo, _ := out.Unitary()
+	if !uo.EqualUpToGlobalPhase(uc, 1e-4) {
+		t.Fatal("translated circuit diverged from the original")
+	}
+}
+
+func TestTranslatorCachesRepeatedBlocks(t *testing.T) {
+	tr := translator()
+	c := circuit.New("rep", 4)
+	c.Add(gates.CX(), 0, 1)
+	c.Add(gates.CX(), 2, 3)
+	c.Add(gates.CX(), 0, 1)
+	if _, err := tr.Translate(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.cache) != 1 {
+		t.Fatalf("translator cache holds %d entries, want 1 (identical CX blocks)", len(tr.cache))
+	}
+}
+
+func TestPulseDepthParallelism(t *testing.T) {
+	c := circuit.New("par", 4)
+	c.Add(gates.SqrtISwap(), 0, 1)
+	c.Add(gates.SqrtISwap(), 2, 3) // parallel
+	c.Add(gates.SqrtISwap(), 1, 2) // sequential
+	if d := PulseDepth(c); d != 2 {
+		t.Fatalf("pulse depth = %g, want 2", d)
+	}
+}

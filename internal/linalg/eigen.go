@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SymEigen diagonalises a real symmetric matrix (passed as a Matrix
+// whose imaginary parts must be negligible) using the cyclic Jacobi
+// method. It returns the eigenvalues and an orthogonal matrix V whose
+// columns are the corresponding eigenvectors: A = V diag(vals) V^T.
+func SymEigen(a *Matrix) (vals []float64, v *Matrix) {
+	if !a.IsSquare() {
+		panic("linalg: SymEigen requires a square matrix")
+	}
+	n := a.Rows
+	// Work on a real copy.
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			w[i][j] = real(a.At(i, j))
+		}
+	}
+	vm := make([][]float64, n)
+	for i := range vm {
+		vm[i] = make([]float64, n)
+		vm[i][i] = 1
+	}
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w[i][j] * w[i][j]
+			}
+		}
+		return s
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps && offDiag() > 1e-26; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w[p][q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w[p][p], w[q][q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation on rows/cols p, q.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w[k][p], w[k][q]
+					w[k][p] = c*wkp - s*wkq
+					w[k][q] = s*wkp + c*wkq
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w[p][k], w[q][k]
+					w[p][k] = c*wpk - s*wqk
+					w[q][k] = s*wpk + c*wqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := vm[k][p], vm[k][q]
+					vm[k][p] = c*vkp - s*vkq
+					vm[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w[i][i]
+	}
+	v = New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v.Set(i, j, complex(vm[i][j], 0))
+		}
+	}
+	return vals, v
+}
+
+// JointSymEigen simultaneously diagonalises two commuting real
+// symmetric matrices X and Y (given as Matrix values with negligible
+// imaginary parts). It returns an orthogonal V such that both V^T X V
+// and V^T Y V are diagonal, together with the two diagonals.
+//
+// The implementation diagonalises the random combination X + t Y,
+// which generically splits all joint eigenspaces; it retries with new
+// t until the off-diagonal residue of both conjugated matrices is
+// small.
+func JointSymEigen(x, y *Matrix, rng *rand.Rand) (xvals, yvals []float64, v *Matrix, ok bool) {
+	if x.Rows != y.Rows || !x.IsSquare() || !y.IsSquare() {
+		panic("linalg: JointSymEigen shape mismatch")
+	}
+	n := x.Rows
+	for attempt := 0; attempt < 24; attempt++ {
+		t := 0.1 + rng.Float64()
+		if attempt%2 == 1 {
+			t = -t
+		}
+		comb := x.Add(y.Scale(complex(t, 0)))
+		_, cand := SymEigen(comb)
+		dx := cand.Transpose().Mul(x).Mul(cand)
+		dy := cand.Transpose().Mul(y).Mul(cand)
+		if maxOffDiag(dx) < 1e-8 && maxOffDiag(dy) < 1e-8 {
+			xvals = make([]float64, n)
+			yvals = make([]float64, n)
+			for i := 0; i < n; i++ {
+				xvals[i] = real(dx.At(i, i))
+				yvals[i] = real(dy.At(i, i))
+			}
+			return xvals, yvals, cand, true
+		}
+	}
+	return nil, nil, nil, false
+}
+
+func maxOffDiag(m *Matrix) float64 {
+	var d float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i == j {
+				continue
+			}
+			a := m.At(i, j)
+			v := math.Hypot(real(a), imag(a))
+			if v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}

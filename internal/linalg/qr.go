@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// QR factors m (square) into Q * R with Q unitary and R upper
+// triangular, using modified Gram-Schmidt with re-orthogonalisation.
+func QR(m *Matrix) (q, r *Matrix) {
+	if !m.IsSquare() {
+		panic("linalg: QR requires a square matrix")
+	}
+	n := m.Rows
+	q = m.Copy()
+	r = New(n, n)
+	col := func(j int) []complex128 {
+		c := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			c[i] = q.At(i, j)
+		}
+		return c
+	}
+	setCol := func(j int, c []complex128) {
+		for i := 0; i < n; i++ {
+			q.Set(i, j, c[i])
+		}
+	}
+	for j := 0; j < n; j++ {
+		v := col(j)
+		// Two Gram-Schmidt sweeps for numerical stability.
+		for sweep := 0; sweep < 2; sweep++ {
+			for k := 0; k < j; k++ {
+				qk := col(k)
+				var dot complex128
+				for i := 0; i < n; i++ {
+					dot += cmplx.Conj(qk[i]) * v[i]
+				}
+				r.Set(k, j, r.At(k, j)+dot)
+				for i := 0; i < n; i++ {
+					v[i] -= dot * qk[i]
+				}
+			}
+		}
+		var norm float64
+		for i := 0; i < n; i++ {
+			norm += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		norm = math.Sqrt(norm)
+		r.Set(j, j, complex(norm, 0))
+		if norm > 0 {
+			for i := 0; i < n; i++ {
+				v[i] /= complex(norm, 0)
+			}
+		}
+		setCol(j, v)
+	}
+	return q, r
+}
+
+// RandGinibre returns an n x n matrix of iid standard complex Gaussians.
+func RandGinibre(n int, rng *rand.Rand) *Matrix {
+	m := New(n, n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+// RandUnitary returns an n x n Haar-distributed random unitary built
+// from a complex Ginibre matrix via QR with phase correction
+// (Mezzadri's construction).
+func RandUnitary(n int, rng *rand.Rand) *Matrix {
+	g := RandGinibre(n, rng)
+	q, r := QR(g)
+	// Multiply column j of Q by phase(R_jj) to obtain Haar measure.
+	// Our QR already normalises R_jj to be real and non-negative, which
+	// is exactly the Mezzadri correction, so Q is already Haar. Guard
+	// against a zero diagonal anyway.
+	for j := 0; j < n; j++ {
+		d := r.At(j, j)
+		if d == 0 {
+			// Astronomically unlikely; retry with fresh randomness.
+			return RandUnitary(n, rng)
+		}
+	}
+	return q
+}
+
+// RandSU returns a Haar-random special unitary (det = 1).
+func RandSU(n int, rng *rand.Rand) *Matrix {
+	u := RandUnitary(n, rng)
+	det := u.Det()
+	// Divide by an n-th root of the determinant.
+	phase := cmplx.Pow(det, complex(-1.0/float64(n), 0))
+	return u.Scale(phase)
+}

@@ -1,0 +1,176 @@
+// Package mirage implements the paper's contribution: a mirror-gate
+// routing policy layered on SABRE. For every two-qubit gate leaving
+// the execute layer, the intermediate layer compares the combined
+// decomposition + routing cost of the gate against its mirror
+// (gate followed by a mirage SWAP) and substitutes the mirror
+// according to an aggression level (paper Algorithm 2):
+//
+//	level 0: never accept a mirror
+//	level 1: accept when it strictly lowers the cost
+//	level 2: accept when it lowers or maintains the cost
+//	level 3: always accept
+//
+// Routing trials are distributed across aggression levels 5% / 45% /
+// 45% / 5% (paper Section IV-C), and the best trial is chosen by a
+// post-selection metric: inserted-SWAP count (MIRAGE-Swaps) or the
+// polytope-weighted critical-path depth (MIRAGE-Depth, Section IV-B).
+package mirage
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/polytope"
+	"repro/internal/sabre"
+	"repro/internal/weyl"
+)
+
+// Aggression is the mirror acceptance level of Algorithm 2.
+type Aggression int
+
+// Aggression levels.
+const (
+	AggressionNever  Aggression = 0
+	AggressionLower  Aggression = 1
+	AggressionEqual  Aggression = 2
+	AggressionAlways Aggression = 3
+)
+
+// DefaultMix is the paper's trial distribution over aggression levels.
+var DefaultMix = [4]float64{0.05, 0.45, 0.45, 0.05}
+
+// Policy is the MIRAGE intermediate-layer decision procedure.
+type Policy struct {
+	Coverage   *polytope.CoverageSet
+	Cache      *polytope.CostCache
+	Aggression Aggression
+	// SwapEquivalentCost converts one hop of the SABRE distance
+	// heuristic into decomposition-cost units; the natural scale is
+	// the basis cost of a SWAP gate (1.5 for sqrt-iSWAP).
+	SwapEquivalentCost float64
+}
+
+// NewPolicy builds a policy with the SWAP cost taken from the coverage
+// set.
+func NewPolicy(cov *polytope.CoverageSet, cache *polytope.CostCache, level Aggression) *Policy {
+	if cache == nil {
+		cache = polytope.NewCostCache(0)
+	}
+	swapCost := cov.CostOf(weyl.SwapCoord, false)
+	return &Policy{
+		Coverage:           cov,
+		Cache:              cache,
+		Aggression:         level,
+		SwapEquivalentCost: swapCost,
+	}
+}
+
+// Decide implements Algorithm 2: compare
+//
+//	cost_current = decomp(U)        + swapCost * H(layout)
+//	cost_trial   = decomp(mirror U) + swapCost * H(layout after mirage SWAP)
+//
+// and accept according to the aggression level.
+func (p *Policy) Decide(ctx *sabre.MirrorContext) bool {
+	switch p.Aggression {
+	case AggressionNever:
+		return false
+	case AggressionAlways:
+		return true
+	}
+	coord := circuit.OpCoordinate(ctx.Op)
+	mirror := weyl.Mirror(coord)
+	dc, _ := p.Cache.CostOf(p.Coverage, coord, false)
+	dm, _ := p.Cache.CostOf(p.Coverage, mirror, false)
+
+	hCur := ctx.RoutingCost(ctx.Layout)
+	trial := ctx.Layout.Copy()
+	trial.SwapPhysical(ctx.PhysA, ctx.PhysB)
+	hTrial := ctx.RoutingCost(trial)
+
+	costCurrent := dc + p.SwapEquivalentCost*hCur
+	costTrial := dm + p.SwapEquivalentCost*hTrial
+
+	const eps = 1e-9
+	if p.Aggression == AggressionLower {
+		return costTrial < costCurrent-eps
+	}
+	return costTrial <= costCurrent+eps // AggressionEqual
+}
+
+// PolicyFactory distributes aggression levels over routing trials
+// according to mix (fractions for levels 0..3). A shared cost cache is
+// reused across all trials, matching the paper's LRU design.
+func PolicyFactory(cov *polytope.CoverageSet, mix [4]float64) sabre.PolicyFactory {
+	cache := polytope.NewCostCache(0)
+	// Build the cumulative distribution once.
+	var cum [4]float64
+	total := 0.0
+	for i, m := range mix {
+		total += m
+		cum[i] = total
+	}
+	if total <= 0 {
+		cum = [4]float64{0.05, 0.5, 0.95, 1.0}
+		total = 1.0
+	}
+	return func(trial int) sabre.MirrorPolicy {
+		// Low-discrepancy assignment: walk the unit interval in golden-
+		// ratio steps so every prefix of trials approximates the mix.
+		u := float64((trial*2654435761)%4294967296) / 4294967296.0 * total
+		level := AggressionAlways
+		for i, c := range cum {
+			if u < c {
+				level = Aggression(i)
+				break
+			}
+		}
+		return NewPolicy(cov, cache, level)
+	}
+}
+
+// FixedPolicyFactory uses one aggression level for every trial
+// (used by the Fig. 10 aggression study).
+func FixedPolicyFactory(cov *polytope.CoverageSet, level Aggression) sabre.PolicyFactory {
+	cache := polytope.NewCostCache(0)
+	return func(trial int) sabre.MirrorPolicy {
+		return NewPolicy(cov, cache, level)
+	}
+}
+
+// --- Post-selection metrics (paper Section IV-B) ---
+
+// GateWeight returns the decomposition time cost of an op under the
+// coverage set: 2Q ops cost k * perGateCost basis applications, 1Q ops
+// are free. Router SWAPs and mirrored gates are priced through their
+// actual coordinates, so a mirage SWAP is automatically cheaper than
+// an explicit SWAP whenever the polytopes say so.
+func GateWeight(cov *polytope.CoverageSet, cache *polytope.CostCache) circuit.WeightFunc {
+	if cache == nil {
+		cache = polytope.NewCostCache(0)
+	}
+	return func(op circuit.Op) float64 {
+		if !op.Is2Q() {
+			return 0
+		}
+		cost, _ := cache.CostOf(cov, circuit.OpCoordinate(op), false)
+		return cost
+	}
+}
+
+// DepthMetric scores a routing result by the polytope-weighted
+// critical-path depth — the paper's key improvement over counting
+// SWAPs (Section VI-A: optimising for depth rather than SWAPs yields
+// an additional 7.5% improvement).
+func DepthMetric(cov *polytope.CoverageSet) sabre.Metric {
+	cache := polytope.NewCostCache(0)
+	w := GateWeight(cov, cache)
+	return func(r *sabre.Result) float64 {
+		// Consolidate first so a router SWAP adjacent to a same-pair
+		// gate is priced as its merged block (the absorption the
+		// post-routing pipeline will actually perform).
+		return circuit.ConsolidateBlocks(r.Routed).Depth(w)
+	}
+}
+
+// SwapsMetric is the MIRAGE-Swaps post-selection variant: identical to
+// stock SABRE's metric.
+func SwapsMetric() sabre.Metric { return sabre.SwapCountMetric }

@@ -1,0 +1,151 @@
+// Package optimize provides the derivative-free numerical optimisation
+// used for ansatz fitting and polytope support functions: a standard
+// Nelder-Mead simplex minimiser with restarts.
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective is a function to minimise.
+type Objective func(x []float64) float64
+
+// Options controls the Nelder-Mead run.
+type Options struct {
+	MaxIter     int     // maximum function evaluations per run (default 2000)
+	Tol         float64 // convergence tolerance on simplex spread (default 1e-10)
+	InitialStep float64 // initial simplex edge length (default 0.5)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.InitialStep <= 0 {
+		o.InitialStep = 0.5
+	}
+	return o
+}
+
+// NelderMead minimises f starting from x0 and returns the best point
+// and value found.
+func NelderMead(f Objective, x0 []float64, opts Options) ([]float64, float64) {
+	opts = opts.withDefaults()
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), f(x0)}
+	for i := 1; i <= n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i-1] += opts.InitialStep
+		simplex[i] = vertex{x, f(x)}
+	}
+	evals := n + 1
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	for evals < opts.MaxIter {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		if simplex[n].v-simplex[0].v < opts.Tol {
+			break
+		}
+		// Centroid of all but the worst.
+		centroid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+
+		lerp := func(t float64) []float64 {
+			x := make([]float64, n)
+			for j := 0; j < n; j++ {
+				x[j] = centroid[j] + t*(centroid[j]-worst.x[j])
+			}
+			return x
+		}
+
+		xr := lerp(alpha)
+		vr := f(xr)
+		evals++
+		switch {
+		case vr < simplex[0].v:
+			xe := lerp(gamma)
+			ve := f(xe)
+			evals++
+			if ve < vr {
+				simplex[n] = vertex{xe, ve}
+			} else {
+				simplex[n] = vertex{xr, vr}
+			}
+		case vr < simplex[n-1].v:
+			simplex[n] = vertex{xr, vr}
+		default:
+			xc := lerp(-rho)
+			vc := f(xc)
+			evals++
+			if vc < worst.v {
+				simplex[n] = vertex{xc, vc}
+			} else {
+				// Shrink towards the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].v = f(simplex[i].x)
+					evals++
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return simplex[0].x, simplex[0].v
+}
+
+// Minimize runs Nelder-Mead with `restarts` random starting points
+// drawn uniformly from [-scale, scale]^dim (the first start is x0 if
+// non-nil) and returns the overall best point and value.
+func Minimize(f Objective, dim int, x0 []float64, restarts int, scale float64, rng *rand.Rand, opts Options) ([]float64, float64) {
+	bestX := []float64(nil)
+	bestV := math.Inf(1)
+	if restarts < 1 {
+		restarts = 1
+	}
+	for r := 0; r < restarts; r++ {
+		var start []float64
+		if r == 0 && x0 != nil {
+			start = append([]float64(nil), x0...)
+		} else {
+			start = make([]float64, dim)
+			for i := range start {
+				start[i] = (2*rng.Float64() - 1) * scale
+			}
+		}
+		x, v := NelderMead(f, start, opts)
+		if v < bestV {
+			bestV, bestX = v, x
+		}
+	}
+	return bestX, bestV
+}

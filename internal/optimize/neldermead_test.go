@@ -1,0 +1,74 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-1)*(x[0]-1) + (x[1]+2)*(x[1]+2)
+	}
+	x, v := NelderMead(f, []float64{0, 0}, Options{})
+	if v > 1e-8 {
+		t.Fatalf("quadratic minimum not found: f=%g at %v", v, x)
+	}
+	if math.Abs(x[0]-1) > 1e-4 || math.Abs(x[1]+2) > 1e-4 {
+		t.Fatalf("minimiser at %v, want (1,-2)", x)
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	rng := rand.New(rand.NewSource(1))
+	x, v := Minimize(f, 2, []float64{-1.2, 1}, 8, 2, rng, Options{MaxIter: 8000})
+	if v > 1e-6 {
+		t.Fatalf("Rosenbrock minimum not reached: f=%g at %v", v, x)
+	}
+}
+
+func TestMultiRestartEscapesLocalMin(t *testing.T) {
+	// f has a local minimum at x=2 (value 0.5) and global at x=-2 (0).
+	f := func(x []float64) float64 {
+		d1 := (x[0] - 2) * (x[0] - 2)
+		d2 := (x[0] + 2) * (x[0] + 2)
+		return math.Min(d1+0.5, d2)
+	}
+	rng := rand.New(rand.NewSource(2))
+	_, v := Minimize(f, 1, []float64{2.1}, 12, 5, rng, Options{})
+	if v > 1e-6 {
+		t.Fatalf("multi-restart failed to escape local minimum: f=%g", v)
+	}
+}
+
+func TestHighDimensionalSphere(t *testing.T) {
+	f := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}
+	x0 := make([]float64, 12)
+	for i := range x0 {
+		x0[i] = 1
+	}
+	_, v := NelderMead(f, x0, Options{MaxIter: 20000})
+	if v > 1e-6 {
+		t.Fatalf("12-dim sphere not minimised: f=%g", v)
+	}
+}
+
+func TestZeroDimensional(t *testing.T) {
+	called := false
+	f := func(x []float64) float64 { called = true; return 42 }
+	_, v := NelderMead(f, nil, Options{})
+	if !called || v != 42 {
+		t.Fatal("zero-dimensional objective mishandled")
+	}
+}

@@ -1,0 +1,108 @@
+package polytope
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"repro/internal/weyl"
+)
+
+// CostCache is the LRU lookup table from quantised Weyl coordinates to
+// decomposition costs described in the paper's Section VI-C ("an LRU
+// software cache for each circuit polytope ... ensures that each
+// coordinate only needs to be queried once"). It is safe for
+// concurrent use.
+type CostCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type cacheKey struct {
+	x, y, z int64
+	mirror  bool
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	cost float64
+	k    int
+}
+
+// NewCostCache returns an LRU cache holding up to capacity entries.
+func NewCostCache(capacity int) *CostCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &CostCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// quantise keys coordinates at ~1e-6 rad resolution: far finer than
+// any polytope feature, coarse enough to absorb floating-point noise.
+func quantise(c weyl.Coordinate, mirror bool) cacheKey {
+	const scale = 1e6
+	return cacheKey{
+		x:      int64(math.Round(c.X * scale)),
+		y:      int64(math.Round(c.Y * scale)),
+		z:      int64(math.Round(c.Z * scale)),
+		mirror: mirror,
+	}
+}
+
+// CostOf returns the (possibly cached) minimum cost of c in cs.
+func (cc *CostCache) CostOf(cs *CoverageSet, c weyl.Coordinate, mirror bool) (cost float64, k int) {
+	key := quantise(c, mirror)
+	cc.mu.Lock()
+	if el, ok := cc.items[key]; ok {
+		cc.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		cc.hits++
+		cc.mu.Unlock()
+		return e.cost, e.k
+	}
+	cc.misses++
+	cc.mu.Unlock()
+
+	r, ok := cs.MinCost(c, mirror)
+	if !ok {
+		r = cs.Regions[len(cs.Regions)-1]
+	}
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.items[key]; ok { // raced with another fill
+		cc.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		return e.cost, e.k
+	}
+	el := cc.ll.PushFront(&cacheEntry{key: key, cost: r.Cost, k: r.K})
+	cc.items[key] = el
+	if cc.ll.Len() > cc.capacity {
+		last := cc.ll.Back()
+		cc.ll.Remove(last)
+		delete(cc.items, last.Value.(*cacheEntry).key)
+	}
+	return r.Cost, r.K
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (cc *CostCache) Stats() (hits, misses int64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits, cc.misses
+}
+
+// Len returns the number of cached entries.
+func (cc *CostCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.ll.Len()
+}

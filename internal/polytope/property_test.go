@@ -1,0 +1,84 @@
+package polytope
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/weyl"
+)
+
+// Property: allowing mirrors can only reduce the decomposition cost.
+// This is the soundness condition behind the whole MIRAGE idea: the
+// mirror-inclusive coverage is a superset of the standard coverage.
+func TestPropertyMirrorNeverIncreasesCost(t *testing.T) {
+	cov := NewISwapRootCoverage(2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := weyl.HaarSample(rng)
+		return cov.CostOf(c, true) <= cov.CostOf(c, false)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cost of a coordinate equals the cost of its double
+// mirror (mirroring twice is the identity).
+func TestPropertyDoubleMirrorCostStable(t *testing.T) {
+	cov := NewISwapRootCoverage(2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := weyl.HaarSample(rng)
+		return cov.CostOf(weyl.Mirror(weyl.Mirror(c)), false) == cov.CostOf(c, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coverage regions are nested — anything reachable with k
+// applications is reachable with k+1 (verified on Haar samples; the
+// empirical builder must respect monotonicity).
+func TestPropertyCoverageMonotone(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		cov := NewISwapRootCoverage(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < 200; i++ {
+			c := weyl.HaarSample(rng)
+			prev := false
+			for _, r := range cov.Regions {
+				if r.K == 0 {
+					continue
+				}
+				in := r.Region.Contains(c, 1e-7)
+				if prev && !in {
+					// Tolerate boundary-level violations only.
+					if r.Region.Violation(c) > 5e-3 {
+						t.Fatalf("n=%d: coordinate %v in k=%d but not k=%d (violation %g)",
+							n, c, r.K-1, r.K, r.Region.Violation(c))
+					}
+				}
+				prev = in
+			}
+		}
+	}
+}
+
+// Property: the SWAP-cost ordering the paper relies on: in every
+// iSWAP-root basis, CNOT-class gates are cheaper than SWAP and
+// mirroring identity yields SWAP's cost.
+func TestPropertyCnotCheaperThanSwap(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		cov := NewISwapRootCoverage(n)
+		cxCost := cov.CostOf(weyl.CNOTCoord, false)
+		swCost := cov.CostOf(weyl.SwapCoord, false)
+		if cxCost >= swCost {
+			t.Fatalf("n=%d: CNOT cost %g not below SWAP cost %g", n, cxCost, swCost)
+		}
+		// Identity mirrored = SWAP class.
+		if got := cov.CostOf(weyl.IdentityCoord, true); got != 0 {
+			t.Fatalf("n=%d: identity with mirrors costs %g, want 0", n, got)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package sabre implements the SABRE qubit routing algorithm (Li,
+// Ding, Xie — ASPLOS 2019) that both the Qiskit baseline and MIRAGE
+// build on: a greedy front-layer router with a lookahead window,
+// decay-based parallelism promotion, and iterative forward-backward
+// layout refinement with independent trials.
+//
+// The router exposes a MirrorPolicy hook: every two-qubit gate that
+// becomes executable is offered to the policy, which may replace it
+// with its mirror (gate followed by a virtual SWAP). The baseline uses
+// no policy; package mirage supplies the paper's polytope-cost policy.
+package sabre
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/topology"
+)
+
+// Options holds the SABRE parameters; defaults follow the paper's
+// Section V setup.
+type Options struct {
+	ExtendedSetSize    int     // lookahead window |E| (default 20)
+	ExtendedSetWeight  float64 // window weight W (default 0.5)
+	DecayRate          float64 // decay increment (default 0.001)
+	DecayResetInterval int     // reset decay every N swap selections (default 5)
+	MaxSteps           int     // safety bound on swap insertions (default 10000 + 100*ops)
+}
+
+// WithDefaults fills unset fields with the paper's values.
+func (o Options) WithDefaults() Options {
+	if o.ExtendedSetSize <= 0 {
+		o.ExtendedSetSize = 20
+	}
+	if o.ExtendedSetWeight <= 0 {
+		o.ExtendedSetWeight = 0.5
+	}
+	if o.DecayRate <= 0 {
+		o.DecayRate = 0.001
+	}
+	if o.DecayResetInterval <= 0 {
+		o.DecayResetInterval = 5
+	}
+	return o
+}
+
+// MirrorContext is what a MirrorPolicy sees for an executable 2Q gate.
+type MirrorContext struct {
+	Op           circuit.Op       // the logical gate (Coord annotated when available)
+	PhysA, PhysB int              // current physical locations of its qubits
+	Layout       *topology.Layout // current layout (do not mutate)
+	Topo         *topology.Topology
+	// RoutingCost evaluates the *summed* SABRE distance heuristic
+	// (total front distance + weighted total lookahead distance) under
+	// a hypothetical layout. Sums — not the averaged form used for
+	// SWAP selection — keep the units absolute, so one eliminated hop
+	// is worth one future SWAP regardless of how many gates are
+	// pending; this is what makes routing benefit commensurable with
+	// the decomposition-cost delta in the mirror decision.
+	RoutingCost func(*topology.Layout) float64
+}
+
+// MirrorPolicy decides whether to substitute the mirror gate
+// (op + mirage SWAP). A nil policy never mirrors.
+type MirrorPolicy interface {
+	Decide(ctx *MirrorContext) bool
+}
+
+// Result is the outcome of one routing run.
+type Result struct {
+	Routed        *circuit.Circuit // ops on physical wires
+	InitialLayout *topology.Layout
+	FinalLayout   *topology.Layout
+	SwapsInserted int
+	MirrorsUsed   int
+	TwoQubitGates int
+}
+
+// Route maps the logical circuit onto the topology starting from the
+// given layout, inserting SWAPs as needed. All ops must act on at most
+// two qubits. The input layout is not mutated.
+func Route(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout,
+	opts Options, rng *rand.Rand, policy MirrorPolicy) (*Result, error) {
+
+	opts = opts.WithDefaults()
+	if c.NumQubits > topo.NumQubits {
+		return nil, fmt.Errorf("sabre: circuit needs %d qubits, topology has %d", c.NumQubits, topo.NumQubits)
+	}
+	for _, op := range c.Ops {
+		if len(op.Qubits) > 2 {
+			return nil, fmt.Errorf("sabre: op %s has arity > 2; unroll first", op.Gate.String())
+		}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 10000 + 100*len(c.Ops)
+	}
+
+	layout := initial.Copy()
+	dag := circuit.BuildDAG(c)
+	tr := dag.NewTraversal()
+	out := circuit.New(c.Name+"_routed", topo.NumQubits)
+	decay := make([]float64, topo.NumQubits)
+	resetDecay := func() {
+		for i := range decay {
+			decay[i] = 1.0
+		}
+	}
+	resetDecay()
+
+	res := &Result{InitialLayout: initial.Copy()}
+
+	// routingCost captures the current front and lookahead op sets and
+	// returns an evaluator for hypothetical layouts. When averaged is
+	// true it computes the canonical SABRE score (mean front distance
+	// plus weighted mean lookahead distance, used for SWAP selection);
+	// otherwise it returns absolute sums (used by the mirror policy,
+	// where the delta must be commensurable with decomposition costs).
+	routingCost := func(skip int, averaged bool) func(*topology.Layout) float64 {
+		var front [][2]int
+		for _, idx := range tr.Ready {
+			if idx == skip {
+				continue
+			}
+			op := c.Ops[idx]
+			if op.Is2Q() {
+				front = append(front, [2]int{op.Qubits[0], op.Qubits[1]})
+			}
+		}
+		if skip >= 0 {
+			// Mirror decision for op `skip`: its own direct successors
+			// are the gates most affected by permuting its outputs, so
+			// they join the front at full weight ("considering
+			// downstream operations", paper Section III-D).
+			for _, s := range dag.Succs[skip] {
+				op := c.Ops[s]
+				if op.Is2Q() {
+					front = append(front, [2]int{op.Qubits[0], op.Qubits[1]})
+				}
+			}
+		}
+		var ext [][2]int
+		for _, idx := range tr.Descendants(opts.ExtendedSetSize) {
+			op := c.Ops[idx]
+			if op.Is2Q() {
+				ext = append(ext, [2]int{op.Qubits[0], op.Qubits[1]})
+			}
+		}
+		return func(l *topology.Layout) float64 {
+			var h float64
+			if len(front) > 0 {
+				var s float64
+				for _, p := range front {
+					s += float64(topo.Distance(l.Phys(p[0]), l.Phys(p[1])))
+				}
+				if averaged {
+					s /= float64(len(front))
+				}
+				h += s
+			}
+			if len(ext) > 0 {
+				var s float64
+				for _, p := range ext {
+					s += float64(topo.Distance(l.Phys(p[0]), l.Phys(p[1])))
+				}
+				if averaged {
+					s /= float64(len(ext))
+				}
+				h += opts.ExtendedSetWeight * s
+			}
+			return h
+		}
+	}
+
+	steps := 0
+	for !tr.Done() {
+		// Execute everything currently executable.
+		progress := true
+		for progress {
+			progress = false
+			ready := append([]int(nil), tr.Ready...)
+			for _, idx := range ready {
+				op := c.Ops[idx]
+				switch len(op.Qubits) {
+				case 1:
+					out.Append(circuit.Op{
+						Gate:   op.Gate,
+						Qubits: []int{layout.Phys(op.Qubits[0])},
+					})
+					tr.Execute(idx)
+					progress = true
+				case 2:
+					pa, pb := layout.Phys(op.Qubits[0]), layout.Phys(op.Qubits[1])
+					if !topo.HasEdge(pa, pb) {
+						continue
+					}
+					mirrored := false
+					if policy != nil {
+						ctx := &MirrorContext{
+							Op: op, PhysA: pa, PhysB: pb,
+							Layout: layout, Topo: topo,
+							RoutingCost: routingCost(idx, false),
+						}
+						mirrored = policy.Decide(ctx)
+					}
+					emit := circuit.Op{Gate: op.Gate, Qubits: []int{pa, pb}, Coord: op.Coord}
+					if mirrored {
+						m := gates.SWAP().Matrix().Mul(op.Gate.Matrix())
+						emit.Gate = gates.NewCustom(op.Gate.Name+"'", 2, m)
+						emit.Mirrored = true
+						emit.Coord = nil // stale: the mirror has a new coordinate
+						res.MirrorsUsed++
+					}
+					out.Append(emit)
+					res.TwoQubitGates++
+					if mirrored {
+						layout.SwapPhysical(pa, pb)
+					}
+					tr.Execute(idx)
+					resetDecay()
+					progress = true
+				}
+			}
+		}
+		if tr.Done() {
+			break
+		}
+
+		// Stalled: pick the best SWAP.
+		type cand struct{ a, b int }
+		seen := map[cand]bool{}
+		var candidates []cand
+		for _, idx := range tr.Ready {
+			op := c.Ops[idx]
+			if !op.Is2Q() {
+				continue
+			}
+			for _, lq := range op.Qubits {
+				p := layout.Phys(lq)
+				for _, nb := range topo.Neighbors(p) {
+					k := cand{p, nb}
+					if k.a > k.b {
+						k.a, k.b = k.b, k.a
+					}
+					if !seen[k] {
+						seen[k] = true
+						candidates = append(candidates, k)
+					}
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("sabre: stalled with no swap candidates (disconnected topology?)")
+		}
+		cost := routingCost(-1, true)
+		bestScore := 0.0
+		bestIdx := -1
+		for i, sc := range candidates {
+			trial := layout.Copy()
+			trial.SwapPhysical(sc.a, sc.b)
+			d := decay[sc.a]
+			if decay[sc.b] > d {
+				d = decay[sc.b]
+			}
+			score := d * cost(trial)
+			if bestIdx < 0 || score < bestScore-1e-12 ||
+				(score < bestScore+1e-12 && rng.Intn(2) == 0) {
+				bestScore, bestIdx = score, i
+			}
+		}
+		chosen := candidates[bestIdx]
+		out.Append(circuit.Op{
+			Gate:       gates.SWAP(),
+			Qubits:     []int{chosen.a, chosen.b},
+			RouterSwap: true,
+		})
+		layout.SwapPhysical(chosen.a, chosen.b)
+		res.SwapsInserted++
+		decay[chosen.a] += opts.DecayRate
+		decay[chosen.b] += opts.DecayRate
+		steps++
+		if steps%opts.DecayResetInterval == 0 {
+			resetDecay()
+		}
+		if steps > maxSteps {
+			return nil, fmt.Errorf("sabre: exceeded %d swap insertions; routing diverged", maxSteps)
+		}
+	}
+
+	res.Routed = out
+	res.FinalLayout = layout
+	return res, nil
+}
+
+// RandomLayout places the circuit's logical qubits on distinct random
+// physical qubits.
+func RandomLayout(numLogical int, topo *topology.Topology, rng *rand.Rand) *topology.Layout {
+	perm := rng.Perm(topo.NumQubits)
+	return topology.NewLayout(perm[:numLogical], topo.NumQubits)
+}
+
+// Metric scores a routing result; lower is better.
+type Metric func(*Result) float64
+
+// SwapCountMetric is the stock Qiskit-SABRE post-selection metric: the
+// number of inserted SWAP gates.
+func SwapCountMetric(r *Result) float64 { return float64(r.SwapsInserted) }
+
+// LayoutOptions controls the iterative layout search.
+type LayoutOptions struct {
+	Routing       Options
+	LayoutTrials  int // independent random starts (default 20)
+	RoutingTrials int // independent routings of the final pass (default 20)
+	FwdBwdPasses  int // forward/backward refinement rounds (default 4)
+	Seed          int64
+}
+
+// WithDefaults fills unset fields with the paper's configuration.
+func (o LayoutOptions) WithDefaults() LayoutOptions {
+	o.Routing = o.Routing.WithDefaults()
+	if o.LayoutTrials <= 0 {
+		o.LayoutTrials = 20
+	}
+	if o.RoutingTrials <= 0 {
+		o.RoutingTrials = 20
+	}
+	if o.FwdBwdPasses <= 0 {
+		o.FwdBwdPasses = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// PolicyFactory builds a mirror policy for a given trial index; nil
+// factories (baseline SABRE) yield nil policies. Trial indices let
+// MIRAGE distribute aggression levels across trials.
+type PolicyFactory func(trial int) MirrorPolicy
+
+// FindBestRouting runs the full SABRE flow: for each layout trial, a
+// random initial layout is refined by forward/backward routing passes,
+// then the circuit is routed RoutingTrials times independently; the
+// best result under the metric is returned.
+func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOptions,
+	metric Metric, factory PolicyFactory) (*Result, error) {
+
+	opts = opts.WithDefaults()
+	if metric == nil {
+		metric = SwapCountMetric
+	}
+	if c.NumQubits > topo.NumQubits {
+		return nil, fmt.Errorf("sabre: circuit needs %d qubits, topology has %d", c.NumQubits, topo.NumQubits)
+	}
+	if !topo.IsConnected() && c.Count2Q() > 0 {
+		return nil, fmt.Errorf("sabre: topology %s is disconnected", topo.Name)
+	}
+	rev := c.Reversed()
+	var best *Result
+	bestScore := 0.0
+	trial := 0
+	for lt := 0; lt < opts.LayoutTrials; lt++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(1000*lt)))
+		layout := RandomLayout(c.NumQubits, topo, rng)
+		// Forward/backward refinement: route forward, then route the
+		// reversed circuit from the final layout; its final layout
+		// becomes the new initial layout.
+		for pass := 0; pass < opts.FwdBwdPasses; pass++ {
+			fwd, err := Route(c, topo, layout, opts.Routing, rng, nil)
+			if err != nil {
+				return nil, err
+			}
+			bwd, err := Route(rev, topo, projectLayout(fwd.FinalLayout, c.NumQubits), opts.Routing, rng, nil)
+			if err != nil {
+				return nil, err
+			}
+			layout = projectLayout(bwd.FinalLayout, c.NumQubits)
+		}
+		for rt := 0; rt < opts.RoutingTrials; rt++ {
+			var policy MirrorPolicy
+			if factory != nil {
+				policy = factory(trial)
+			}
+			trial++
+			rrng := rand.New(rand.NewSource(opts.Seed + int64(1000*lt+rt) + 500000))
+			res, err := Route(c, topo, layout, opts.Routing, rrng, policy)
+			if err != nil {
+				return nil, err
+			}
+			if score := metric(res); best == nil || score < bestScore {
+				best, bestScore = res, score
+			}
+		}
+	}
+	return best, nil
+}
+
+// projectLayout restricts a (possibly larger) layout to the first
+// numLogical logical qubits, keeping their physical assignments.
+func projectLayout(l *topology.Layout, numLogical int) *topology.Layout {
+	return topology.NewLayout(l.L2P[:numLogical], len(l.P2L))
+}

@@ -1,0 +1,175 @@
+package topology
+
+import "sort"
+
+// Layout maps logical circuit qubits to physical device qubits.
+type Layout struct {
+	L2P []int // logical -> physical
+	P2L []int // physical -> logical (-1 when unused)
+}
+
+// NewLayout builds a layout from a logical-to-physical assignment.
+func NewLayout(l2p []int, numPhysical int) *Layout {
+	l := &Layout{
+		L2P: append([]int(nil), l2p...),
+		P2L: make([]int, numPhysical),
+	}
+	for i := range l.P2L {
+		l.P2L[i] = -1
+	}
+	for logical, phys := range l.L2P {
+		l.P2L[phys] = logical
+	}
+	return l
+}
+
+// TrivialLayout maps logical i to physical i.
+func TrivialLayout(numLogical, numPhysical int) *Layout {
+	l2p := make([]int, numLogical)
+	for i := range l2p {
+		l2p[i] = i
+	}
+	return NewLayout(l2p, numPhysical)
+}
+
+// Copy returns an independent copy.
+func (l *Layout) Copy() *Layout {
+	return &Layout{
+		L2P: append([]int(nil), l.L2P...),
+		P2L: append([]int(nil), l.P2L...),
+	}
+}
+
+// SwapPhysical exchanges the logical qubits on two physical locations
+// (the effect of a SWAP gate on those wires, or of a mirage SWAP).
+func (l *Layout) SwapPhysical(a, b int) {
+	la, lb := l.P2L[a], l.P2L[b]
+	l.P2L[a], l.P2L[b] = lb, la
+	if la >= 0 {
+		l.L2P[la] = b
+	}
+	if lb >= 0 {
+		l.L2P[lb] = a
+	}
+}
+
+// Phys returns the physical location of logical qubit q.
+func (l *Layout) Phys(q int) int { return l.L2P[q] }
+
+// --- SWAP-free layout search (the VF2Layout analogue) ---
+
+// InteractionGraph is the logical 2Q interaction multigraph of a
+// circuit, given as canonical pairs.
+type InteractionGraph struct {
+	NumQubits int
+	Pairs     [][2]int
+}
+
+// FindSwapFreeLayout searches for an assignment of logical qubits to
+// physical qubits such that every interacting pair is adjacent — the
+// subgraph-monomorphism check Qiskit performs with VF2Layout before
+// invoking routing. Returns (layout, true) on success. The search is
+// exact backtracking with a node budget; circuits needing SWAPs fail
+// quickly because some logical degree exceeds the physical degree.
+func FindSwapFreeLayout(ig InteractionGraph, t *Topology, maxNodes int) (*Layout, bool) {
+	if ig.NumQubits > t.NumQubits {
+		return nil, false
+	}
+	// Logical adjacency sets.
+	ladj := make([]map[int]bool, ig.NumQubits)
+	for i := range ladj {
+		ladj[i] = map[int]bool{}
+	}
+	for _, p := range ig.Pairs {
+		if p[0] == p[1] {
+			continue
+		}
+		ladj[p[0]][p[1]] = true
+		ladj[p[1]][p[0]] = true
+	}
+	// Quick reject: logical degree must not exceed physical degree.
+	maxPhysDeg := 0
+	for q := 0; q < t.NumQubits; q++ {
+		if d := t.Degree(q); d > maxPhysDeg {
+			maxPhysDeg = d
+		}
+	}
+	order := make([]int, ig.NumQubits)
+	for i := range order {
+		order[i] = i
+	}
+	// Assign high-degree logical qubits first.
+	sort.Slice(order, func(i, j int) bool {
+		return len(ladj[order[i]]) > len(ladj[order[j]])
+	})
+	for _, q := range order {
+		if len(ladj[q]) > maxPhysDeg {
+			return nil, false
+		}
+	}
+
+	assign := make([]int, ig.NumQubits) // logical -> physical
+	used := make([]bool, t.NumQubits)
+	for i := range assign {
+		assign[i] = -1
+	}
+	nodes := 0
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+
+	var dfs func(idx int) bool
+	dfs = func(idx int) bool {
+		if idx == len(order) {
+			return true
+		}
+		nodes++
+		if nodes > maxNodes {
+			return false
+		}
+		q := order[idx]
+		// Candidate physical sites: neighbours of already-assigned
+		// logical neighbours, or any free site if none assigned yet.
+		var candidates []int
+		restricted := false
+		for nb := range ladj[q] {
+			if assign[nb] >= 0 {
+				if !restricted {
+					candidates = append([]int(nil), t.Neighbors(assign[nb])...)
+					restricted = true
+				} else {
+					// Intersect with neighbours of this assigned peer.
+					keep := candidates[:0]
+					for _, c := range candidates {
+						if t.HasEdge(c, assign[nb]) {
+							keep = append(keep, c)
+						}
+					}
+					candidates = keep
+				}
+			}
+		}
+		if !restricted {
+			for p := 0; p < t.NumQubits; p++ {
+				candidates = append(candidates, p)
+			}
+		}
+		for _, p := range candidates {
+			if used[p] || t.Degree(p) < len(ladj[q]) {
+				continue
+			}
+			assign[q] = p
+			used[p] = true
+			if dfs(idx + 1) {
+				return true
+			}
+			assign[q] = -1
+			used[p] = false
+		}
+		return false
+	}
+	if !dfs(0) {
+		return nil, false
+	}
+	return NewLayout(assign, t.NumQubits), true
+}

@@ -1,0 +1,222 @@
+// Package topology models hardware coupling graphs: which physical
+// qubit pairs support a two-qubit gate. It provides the standard NISQ
+// topologies the paper evaluates (6x6 square lattice, 57-qubit
+// heavy-hex) plus lines, rings, grids and all-to-all graphs, with BFS
+// all-pairs distances and a VF2-style search for SWAP-free layouts.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is an undirected coupling graph over physical qubits.
+type Topology struct {
+	Name      string
+	NumQubits int
+	adj       [][]int
+	edgeSet   map[[2]int]bool
+	dist      [][]int
+}
+
+// New builds a topology from an edge list.
+func New(name string, numQubits int, edges [][2]int) *Topology {
+	t := &Topology{
+		Name:      name,
+		NumQubits: numQubits,
+		adj:       make([][]int, numQubits),
+		edgeSet:   make(map[[2]int]bool),
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a == b || a < 0 || b < 0 || a >= numQubits || b >= numQubits {
+			panic(fmt.Sprintf("topology: invalid edge (%d, %d)", a, b))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if t.edgeSet[key] {
+			continue
+		}
+		t.edgeSet[key] = true
+		t.adj[a] = append(t.adj[a], b)
+		t.adj[b] = append(t.adj[b], a)
+	}
+	for i := range t.adj {
+		sort.Ints(t.adj[i])
+	}
+	t.computeDistances()
+	return t
+}
+
+func (t *Topology) computeDistances() {
+	n := t.NumQubits
+	t.dist = make([][]int, n)
+	for s := 0; s < n; s++ {
+		d := make([]int, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range t.adj[cur] {
+				if d[nb] < 0 {
+					d[nb] = d[cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		t.dist[s] = d
+	}
+}
+
+// Neighbors returns the sorted adjacency list of q.
+func (t *Topology) Neighbors(q int) []int { return t.adj[q] }
+
+// HasEdge reports whether (a, b) is a coupled pair.
+func (t *Topology) HasEdge(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return t.edgeSet[[2]int{a, b}]
+}
+
+// Edges returns all edges as canonical (lo, hi) pairs, sorted.
+func (t *Topology) Edges() [][2]int {
+	out := make([][2]int, 0, len(t.edgeSet))
+	for e := range t.edgeSet {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Distance returns the BFS hop distance between physical qubits, or -1
+// when disconnected.
+func (t *Topology) Distance(a, b int) int { return t.dist[a][b] }
+
+// IsConnected reports whether the coupling graph is connected.
+func (t *Topology) IsConnected() bool {
+	for _, d := range t.dist[0] {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Degree returns the number of neighbours of q.
+func (t *Topology) Degree(q int) int { return len(t.adj[q]) }
+
+// --- Standard builders ---
+
+// Line returns a 1-D chain of n qubits.
+func Line(n int) *Topology {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return New(fmt.Sprintf("line-%d", n), n, edges)
+}
+
+// Ring returns a cycle of n qubits.
+func Ring(n int) *Topology {
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return New(fmt.Sprintf("ring-%d", n), n, edges)
+}
+
+// Grid returns a rows x cols square grid.
+func Grid(rows, cols int) *Topology {
+	var edges [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return New(fmt.Sprintf("grid-%dx%d", rows, cols), rows*cols, edges)
+}
+
+// SquareLattice66 returns the paper's 6x6 square-lattice machine.
+func SquareLattice66() *Topology {
+	t := Grid(6, 6)
+	t.Name = "square-6x6"
+	return t
+}
+
+// AllToAll returns the complete graph on n qubits.
+func AllToAll(n int) *Topology {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return New(fmt.Sprintf("a2a-%d", n), n, edges)
+}
+
+// HeavyHex returns an IBM-style heavy-hex lattice: rowGaps+1
+// horizontal chains of `width` qubits each, linked by bridge qubits at
+// alternating column offsets (0, 4, 8, ... for even gaps; 2, 6, 10,
+// ... for odd gaps). This reproduces the degree-<=3 heavy-hex routing
+// structure of IBM machines.
+func HeavyHex(rowGaps, width int) *Topology {
+	if rowGaps < 1 || width < 3 {
+		panic("topology: HeavyHex needs rowGaps >= 1 and width >= 3")
+	}
+	var edges [][2]int
+	numRow := rowGaps + 1
+	rowStart := make([]int, numRow)
+	id := 0
+	for r := 0; r < numRow; r++ {
+		rowStart[r] = id
+		id += width
+	}
+	bridge := id
+	for r := 0; r < numRow; r++ {
+		for c := 0; c+1 < width; c++ {
+			edges = append(edges, [2]int{rowStart[r] + c, rowStart[r] + c + 1})
+		}
+	}
+	for r := 0; r < rowGaps; r++ {
+		offset := 0
+		if r%2 == 1 {
+			offset = 2
+		}
+		for c := offset; c < width; c += 4 {
+			b := bridge
+			bridge++
+			edges = append(edges, [2]int{rowStart[r] + c, b})
+			edges = append(edges, [2]int{b, rowStart[r+1] + c})
+		}
+	}
+	return New(fmt.Sprintf("heavyhex-%dx%d", rowGaps, width), bridge, edges)
+}
+
+// HeavyHex57 returns the paper's 57-qubit heavy-hex machine: four
+// 12-qubit rows plus nine bridge qubits (48 + 9 = 57).
+func HeavyHex57() *Topology {
+	t := HeavyHex(3, 12)
+	if t.NumQubits != 57 {
+		panic(fmt.Sprintf("topology: heavy-hex 57 instance has %d qubits", t.NumQubits))
+	}
+	t.Name = "heavyhex-57"
+	return t
+}

@@ -1,0 +1,125 @@
+package weyl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+// Property: Canonicalize always lands in the chamber, for arbitrary
+// (even wildly out-of-range) raw coordinate triples.
+func TestPropertyCanonicalizeAlwaysInChamber(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		// Clamp quick's unbounded floats into something finite.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.123
+			}
+			return math.Mod(v, 50)
+		}
+		c := Canonicalize(Coordinate{clamp(x), clamp(y), clamp(z)})
+		return c.InChamber(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the mirror is an involution on the chamber.
+func TestPropertyMirrorInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := HaarSample(rng)
+		return Mirror(Mirror(c)).ApproxEqual(c, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coordinates are invariant under input/output locals drawn
+// from the full unitary group (det-phase handling included).
+func TestPropertyLocalInvarianceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := linalg.RandUnitary(4, rng)
+		c1, err1 := CoordinateOf(u)
+		k := linalg.RandUnitary(2, rng).Kron(linalg.RandUnitary(2, rng))
+		c2, err2 := CoordinateOf(k.Mul(u))
+		return err1 == nil && err2 == nil && c1.ApproxEqual(c2, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a gate and its dagger have Z-mirrored coordinates
+// (complex conjugation flips the chamber's Z sign).
+func TestPropertyDaggerConjugatesZ(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := linalg.RandSU(4, rng)
+		c, err1 := CoordinateOf(u)
+		d, err2 := CoordinateOf(u.Dagger())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		want := Canonicalize(Coordinate{c.X, c.Y, -c.Z})
+		return d.ApproxEqual(want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mirroring commutes with the paper-convention fold.
+func TestPropertyMirrorFoldCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := HaarSample(rng)
+		viaChamber := Mirror(c).ToPaper()
+		viaPaper := MirrorPaper(c.ToPaper())
+		back := Canonicalize(FromPaper(viaPaper))
+		return back.ApproxEqual(FromPaper(viaChamber), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The chamber's corner cases must canonicalise to themselves.
+func TestCanonicalizeCorners(t *testing.T) {
+	for _, c := range []Coordinate{IdentityCoord, CNOTCoord, ISwapCoord, SwapCoord} {
+		if got := Canonicalize(c); !got.ApproxEqual(c, 1e-12) {
+			t.Errorf("corner %v canonicalised to %v", c, got)
+		}
+	}
+	// SWAP-dagger class: (pi/4, pi/4, -pi/4) is identified with SWAP
+	// on the X = pi/4 boundary; the canonical representative must pick
+	// Z >= 0.
+	got := Canonicalize(Coordinate{math.Pi / 4, math.Pi / 4, -math.Pi / 4})
+	if got.Z < 0 {
+		t.Errorf("boundary tie-break picked Z = %g < 0", got.Z)
+	}
+}
+
+// Mirrors of the iSWAP-root family land where the paper's Fig. 4
+// geometry requires: on the X = pi/4 face, mirroring exchanges
+// "distance from identity" for "distance from SWAP".
+func TestMirrorOfRootFamily(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		c := RootISwapCoord(n)
+		m := Mirror(c)
+		want := Coordinate{
+			X: math.Pi / 4,
+			Y: math.Pi/4 - c.Y,
+			Z: math.Pi/4 - c.X,
+		}
+		if !m.ApproxEqual(want, 1e-9) {
+			t.Errorf("Mirror(root %d) = %v, want %v", n, m, want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package mirage is the public API of the MIRAGE reproduction: a
+// quantum transpiler that co-designs SWAP routing and basis-gate
+// decomposition using mirror gates (McKinney, Hatridge, Jones —
+// "MIRAGE: Quantum Circuit Decomposition and Routing Collaborative
+// Design using Mirror Gates", HPCA 2024).
+//
+// # Quick start
+//
+//	topo := mirage.SquareLattice66()
+//	circ := mirage.QFT(18)
+//	report, err := mirage.Transpile(circ, topo, mirage.Options{
+//		Router:         mirage.MIRAGE,
+//		DepthSelection: true,
+//	})
+//	fmt.Println(report.Summary())
+//
+// The facade re-exports the pieces a downstream user needs: circuit
+// construction and QASM I/O, hardware topologies, benchmark
+// generators, the SABRE baseline and MIRAGE routers, Weyl-chamber
+// analysis (coordinates and mirror gates), coverage polytopes, and
+// Haar-score experiments. The implementation lives in internal/
+// packages; see DESIGN.md for the architecture map.
+package mirage
+
+import (
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/haar"
+	"repro/internal/linalg"
+	mirpkg "repro/internal/mirage"
+	"repro/internal/polytope"
+	"repro/internal/sabre"
+	"repro/internal/topology"
+	"repro/internal/transpile"
+	"repro/internal/weyl"
+)
+
+// --- Circuits ---
+
+// Circuit is a gate list over logical qubit wires.
+type Circuit = circuit.Circuit
+
+// Op is one gate application.
+type Op = circuit.Op
+
+// Gate is a named unitary gate.
+type Gate = gates.Gate
+
+// NewCircuit returns an empty circuit with the given name and width.
+func NewCircuit(name string, numQubits int) *Circuit { return circuit.New(name, numQubits) }
+
+// ParseQASM reads an OpenQASM 2.0 subset (QASMBench/MQTBench style).
+func ParseQASM(src string) (*Circuit, error) { return circuit.ParseQASM(src) }
+
+// WriteQASM renders a circuit as OpenQASM 2.0.
+func WriteQASM(c *Circuit) string { return circuit.WriteQASM(c) }
+
+// UnrollTo2Q rewrites 3-qubit gates into 1Q/2Q decompositions.
+func UnrollTo2Q(c *Circuit) *Circuit { return circuit.UnrollTo2Q(c) }
+
+// ConsolidateBlocks merges runs of gates on a qubit pair into
+// coordinate-annotated 2Q blocks.
+func ConsolidateBlocks(c *Circuit) *Circuit { return circuit.ConsolidateBlocks(c) }
+
+// --- Topologies ---
+
+// Topology is a hardware coupling graph.
+type Topology = topology.Topology
+
+// Layout maps logical to physical qubits.
+type Layout = topology.Layout
+
+// Line returns a 1-D chain of n qubits.
+func Line(n int) *Topology { return topology.Line(n) }
+
+// Ring returns a cycle of n qubits.
+func Ring(n int) *Topology { return topology.Ring(n) }
+
+// Grid returns a rows x cols lattice.
+func Grid(rows, cols int) *Topology { return topology.Grid(rows, cols) }
+
+// SquareLattice66 returns the paper's 6x6 square-lattice machine.
+func SquareLattice66() *Topology { return topology.SquareLattice66() }
+
+// HeavyHex57 returns the paper's 57-qubit heavy-hex machine.
+func HeavyHex57() *Topology { return topology.HeavyHex57() }
+
+// AllToAll returns a fully connected device.
+func AllToAll(n int) *Topology { return topology.AllToAll(n) }
+
+// NewTopology builds a custom coupling graph from an edge list.
+func NewTopology(name string, numQubits int, edges [][2]int) *Topology {
+	return topology.New(name, numQubits, edges)
+}
+
+// --- Transpilation ---
+
+// Router selects the routing algorithm.
+type Router = transpile.Router
+
+// Router kinds.
+const (
+	SABRE  = transpile.SABRE
+	MIRAGE = transpile.MIRAGE
+)
+
+// Options configures the transpiler pipeline.
+type Options = transpile.Options
+
+// Report is the transpilation outcome with the paper's metrics.
+type Report = transpile.Report
+
+// Aggression is the mirror-acceptance level of paper Algorithm 2.
+type Aggression = mirpkg.Aggression
+
+// Aggression levels (paper Algorithm 2).
+const (
+	AggressionNever  = mirpkg.AggressionNever
+	AggressionLower  = mirpkg.AggressionLower
+	AggressionEqual  = mirpkg.AggressionEqual
+	AggressionAlways = mirpkg.AggressionAlways
+)
+
+// LayoutOptions holds SABRE trial counts and parameters.
+type LayoutOptions = sabre.LayoutOptions
+
+// Transpile runs the full pipeline: cleaning, consolidation, trivial
+// layout check, SABRE/MIRAGE routing, metrics.
+func Transpile(c *Circuit, topo *Topology, opts Options) (*Report, error) {
+	return transpile.Transpile(c, topo, opts)
+}
+
+// --- Weyl chamber analysis ---
+
+// Coordinate is a point of the canonical Weyl chamber.
+type Coordinate = weyl.Coordinate
+
+// CoordinateOf returns the Weyl coordinate of a 4x4 unitary.
+func CoordinateOf(u *linalg.Matrix) (Coordinate, error) { return weyl.CoordinateOf(u) }
+
+// Mirror returns the coordinate of SWAP * U for a gate U at c
+// (paper Eq. 1).
+func Mirror(c Coordinate) Coordinate { return weyl.Mirror(c) }
+
+// HaarSampleCoordinate draws the coordinate of a Haar-random 2Q gate.
+func HaarSampleCoordinate(rng *rand.Rand) Coordinate { return weyl.HaarSample(rng) }
+
+// --- Coverage polytopes ---
+
+// CoverageSet is the cost-ordered family of reachable-set polytopes of
+// a basis gate.
+type CoverageSet = polytope.CoverageSet
+
+// SqrtISwapCoverage returns the sqrt-iSWAP coverage set (the paper's
+// primary basis).
+func SqrtISwapCoverage() *CoverageSet { return polytope.NewISwapRootCoverage(2) }
+
+// ISwapRootCoverage returns the coverage set of iSWAP^(1/n).
+func ISwapRootCoverage(n int) *CoverageSet { return polytope.NewISwapRootCoverage(n) }
+
+// CNOTCoverage returns the exact CNOT-basis coverage set.
+func CNOTCoverage() *CoverageSet { return polytope.NewCNOTCoverage() }
+
+// --- Haar scores (paper Section III-C) ---
+
+// HaarStrategy selects mirror/approximation variants of Algorithm 1.
+type HaarStrategy = haar.Strategy
+
+// HaarResult is a Monte-Carlo Haar-score outcome.
+type HaarResult = haar.Result
+
+// HaarScore runs Algorithm 1 on a coverage set.
+func HaarScore(cov *CoverageSet, strat HaarStrategy, samples int, seed int64) HaarResult {
+	return haar.Score(cov, strat, haar.Options{Samples: samples, Seed: seed})
+}
+
+// --- Benchmark circuits (paper Table III) ---
+
+// BenchmarkEntry names a Table III workload.
+type BenchmarkEntry = bench.Entry
+
+// BenchmarkSuite returns the paper's benchmark selection.
+func BenchmarkSuite() []BenchmarkEntry { return bench.Suite() }
+
+// QFT returns the n-qubit quantum Fourier transform.
+func QFT(n int) *Circuit { return bench.QFT(n) }
+
+// GHZ returns the n-qubit GHZ preparation circuit.
+func GHZ(n int) *Circuit { return bench.GHZ(n) }
+
+// TwoLocal returns the fully entangled ansatz of paper Fig. 8a.
+func TwoLocal(n int) *Circuit { return bench.TwoLocal(n) }
