@@ -24,6 +24,33 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestFacadeTranspileBatch(t *testing.T) {
+	topo := Line(6)
+	circs := []*Circuit{QFT(4), GHZ(5), TwoLocal(4)}
+	cache := NewCostCache(0)
+	reports, err := TranspileBatch(circs, topo, Options{
+		Router:         MIRAGE,
+		DepthSelection: true,
+		Layout:         LayoutOptions{LayoutTrials: 2, RoutingTrials: 2, FwdBwdPasses: 1, Seed: 2},
+		Parallelism:    2,
+		Cache:          cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(circs) {
+		t.Fatalf("got %d reports for %d circuits", len(reports), len(circs))
+	}
+	for i, rep := range reports {
+		if rep == nil || rep.Routed == nil {
+			t.Fatalf("report %d is empty", i)
+		}
+	}
+	if hits, misses := cache.Stats(); hits+misses == 0 {
+		t.Fatal("shared cost cache was never consulted")
+	}
+}
+
 func TestFacadeQASMRoundTrip(t *testing.T) {
 	c := NewCircuit("rt", 2)
 	c.Add(gates.H(), 0)

@@ -8,6 +8,7 @@ package mirage
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -351,6 +352,72 @@ func BenchmarkTableIIIGenerators(b *testing.B) {
 			total += e.Build().Count2Q()
 		}
 		b.ReportMetric(float64(total), "suite_2q_gates")
+	}
+}
+
+// BenchmarkRoutingSerialVsParallel compares the trial engine at one
+// worker vs one-per-CPU on the Fig. 12 circuit set (smoke scale). The
+// routed results are seed-deterministic and identical in both modes;
+// only the wall time differs. cmd/benchsuite writes the same
+// comparison at full scale into BENCH_routing.json.
+func BenchmarkRoutingSerialVsParallel(b *testing.B) {
+	topo := topology.SquareLattice66()
+	circs := []*circuit.Circuit{bench.WState(16), bench.QEC9XZ(17), bench.QFT(10)}
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel_%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var swaps, mirrors float64
+				for _, c := range circs {
+					rep, err := transpile.Transpile(c, topo, transpile.Options{
+						Router: transpile.MIRAGE, DepthSelection: true,
+						Layout:            quickLayout(12),
+						Parallelism:       mode.par,
+						SkipTrivialLayout: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					swaps += float64(rep.SwapsInserted)
+					mirrors += float64(rep.MirrorsUsed)
+				}
+				b.ReportMetric(swaps, "swaps")
+				b.ReportMetric(mirrors, "mirrors")
+			}
+		})
+	}
+}
+
+// BenchmarkTranspileBatch measures the batch entrypoint: many circuits
+// sharing one warmed cost cache, circuit-level fan-out.
+func BenchmarkTranspileBatch(b *testing.B) {
+	topo := topology.SquareLattice66()
+	circs := []*circuit.Circuit{
+		bench.WState(16), bench.QEC9XZ(17), bench.QFT(10), bench.GHZ(12),
+	}
+	for i := 0; i < b.N; i++ {
+		cache := polytope.NewCostCache(0)
+		reps, err := transpile.TranspileBatch(circs, topo, transpile.Options{
+			Router: transpile.MIRAGE, DepthSelection: true,
+			Layout:            quickLayout(12),
+			Cache:             cache,
+			SkipTrivialLayout: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reps) != len(circs) {
+			b.Fatal("missing reports")
+		}
+		hits, misses := cache.Stats()
+		if hits+misses > 0 {
+			b.ReportMetric(100*float64(hits)/float64(hits+misses), "cost_cache_hit_%")
+		}
 	}
 }
 

@@ -5,14 +5,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/mirage"
+	"repro/internal/pool"
 	"repro/internal/sabre"
 	"repro/internal/topology"
 	"repro/internal/transpile"
@@ -25,6 +28,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced trial counts and circuit subset")
 		trials   = flag.Int("trials", 0, "layout/routing trials (0 = paper defaults 20/20, quick = 4/4)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "routing-trial workers (0 = one per CPU, 1 = serial)")
+		jsonPath = flag.String("json", "BENCH_routing.json", "machine-readable fig-12 results file (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -35,7 +40,10 @@ func main() {
 	if *trials > 0 {
 		lt, rt = *trials, *trials
 	}
-	layout := sabre.LayoutOptions{LayoutTrials: lt, RoutingTrials: rt, FwdBwdPasses: fb, Seed: *seed}
+	layout := sabre.LayoutOptions{
+		LayoutTrials: lt, RoutingTrials: rt, FwdBwdPasses: fb, Seed: *seed,
+		Parallelism: *parallel,
+	}
 
 	switch *fig {
 	case "table3":
@@ -45,7 +53,7 @@ func main() {
 	case "11":
 		runFig11(layout, pickTopo(*topoName), *quick)
 	case "12":
-		runFig12(layout, pickTopo(*topoName), *quick)
+		runFig12(layout, pickTopo(*topoName), *quick, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		os.Exit(1)
@@ -147,8 +155,46 @@ func runFig11(layout sabre.LayoutOptions, topo *topology.Topology, quick bool) {
 	fmt.Println("(paper: 24.1% and 29.5% on the full suite with 20/20/4 trials)")
 }
 
-func runFig12(layout sabre.LayoutOptions, topo *topology.Topology, quick bool) {
-	fmt.Printf("Fig. 12 — MIRAGE vs Qiskit-SABRE on %s\n", topo.Name)
+// benchRow is one circuit x router measurement in BENCH_routing.json.
+type benchRow struct {
+	Circuit     string  `json:"circuit"`
+	Router      string  `json:"router"`
+	WallMS      float64 `json:"wall_ms"`
+	DepthPulses float64 `json:"depth_pulses"`
+	TotalGates  float64 `json:"total_gates"`
+	Swaps       int     `json:"swaps"`
+	Mirrors     int     `json:"mirrors"`
+}
+
+// benchFile is the BENCH_routing.json schema: enough metadata to
+// compare runs across machines and PRs.
+type benchFile struct {
+	Topology     string     `json:"topology"`
+	LayoutTrials int        `json:"layout_trials"`
+	RoutingTrial int        `json:"routing_trials"`
+	Seed         int64      `json:"seed"`
+	Parallelism  int        `json:"parallelism"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
+	TotalWallMS  float64    `json:"total_wall_ms"`
+	Rows         []benchRow `json:"rows"`
+}
+
+func writeBenchJSON(path string, f benchFile) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(f.Rows))
+}
+
+func runFig12(layout sabre.LayoutOptions, topo *topology.Topology, quick bool, jsonPath string) {
+	fmt.Printf("Fig. 12 — MIRAGE vs Qiskit-SABRE on %s (%d workers)\n",
+		topo.Name, pool.Size(layout.Parallelism))
 	fmt.Printf("%-22s | %9s %9s | %9s %9s | %6s %6s | %8s\n",
 		"circuit", "q-depth", "m-depth", "q-gates", "m-gates", "q-swp", "m-swp", "mirror%")
 	var (
@@ -159,10 +205,21 @@ func runFig12(layout sabre.LayoutOptions, topo *topology.Topology, quick bool) {
 		count                  int
 	)
 	start := time.Now()
+	var rows []benchRow
+	addRow := func(name string, rep *transpile.Report) {
+		rows = append(rows, benchRow{
+			Circuit: name, Router: rep.Router,
+			WallMS:      float64(rep.Runtime.Microseconds()) / 1000,
+			DepthPulses: rep.DepthPulses, TotalGates: rep.TotalBasisGates,
+			Swaps: rep.SwapsInserted, Mirrors: rep.MirrorsUsed,
+		})
+	}
 	for _, e := range suite(quick) {
 		c := e.Build()
 		q := transpileOne(c, topo, transpile.SABRE, false, nil, layout)
 		m := transpileOne(c, topo, transpile.MIRAGE, true, nil, layout)
+		addRow(e.Name, q)
+		addRow(e.Name, m)
 		fmt.Printf("%-22s | %9.1f %9.1f | %9.0f %9.0f | %6d %6d | %7.1f%%\n",
 			e.Name, q.DepthPulses, m.DepthPulses, q.TotalBasisGates, m.TotalBasisGates,
 			q.SwapsInserted, m.SwapsInserted, 100*m.MirrorAcceptRate)
@@ -191,5 +248,18 @@ func runFig12(layout sabre.LayoutOptions, topo *topology.Topology, quick bool) {
 		100*(sumSwapsQ-sumSwapsM)/sumSwapsQ)
 	fmt.Printf("(paper heavy-hex: depth -31.19%%, gates -16.97%%, swaps -56.19%%;\n")
 	fmt.Printf(" paper square:    depth -29.58%%, gates -10.25%%, swaps -59.86%%)\n")
-	fmt.Printf("total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	total := time.Since(start)
+	fmt.Printf("total runtime: %s\n", total.Round(time.Millisecond))
+	if jsonPath != "" {
+		writeBenchJSON(jsonPath, benchFile{
+			Topology:     topo.Name,
+			LayoutTrials: layout.LayoutTrials,
+			RoutingTrial: layout.RoutingTrials,
+			Seed:         layout.Seed,
+			Parallelism:  pool.Size(layout.Parallelism),
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			TotalWallMS:  float64(total.Microseconds()) / 1000,
+			Rows:         rows,
+		})
+	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
+	"repro/internal/pool"
 	"repro/internal/sabre"
 	"repro/internal/topology"
 	"repro/internal/transpile"
@@ -18,9 +19,10 @@ import (
 
 func main() {
 	var (
-		sizes  = flag.String("sizes", "16,24,32,48,64", "comma-separated QFT sizes")
-		trials = flag.Int("trials", 2, "layout/routing trials (small: this is a runtime study)")
-		seed   = flag.Int64("seed", 1, "random seed")
+		sizes    = flag.String("sizes", "16,24,32,48,64", "comma-separated QFT sizes")
+		trials   = flag.Int("trials", 2, "layout/routing trials (small: this is a runtime study)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "routing-trial workers (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -44,9 +46,11 @@ func main() {
 
 	layout := sabre.LayoutOptions{
 		LayoutTrials: *trials, RoutingTrials: *trials, FwdBwdPasses: 2, Seed: *seed,
+		Parallelism: *parallel,
 	}
 
-	fmt.Println("Fig. 13b — QFT transpilation runtime (wall clock)")
+	fmt.Printf("Fig. 13b — QFT transpilation runtime (wall clock, %d workers)\n",
+		pool.Size(layout.Parallelism))
 	fmt.Printf("%-10s %8s %12s %12s %14s\n", "circuit", "qubits", "sabre", "mirage", "cache hit rate")
 	for _, n := range ns {
 		c := bench.QFT(n)

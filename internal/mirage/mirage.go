@@ -100,7 +100,18 @@ func (p *Policy) Decide(ctx *sabre.MirrorContext) bool {
 // according to mix (fractions for levels 0..3). A shared cost cache is
 // reused across all trials, matching the paper's LRU design.
 func PolicyFactory(cov *polytope.CoverageSet, mix [4]float64) sabre.PolicyFactory {
-	cache := polytope.NewCostCache(0)
+	return PolicyFactoryWithCache(cov, mix, nil)
+}
+
+// PolicyFactoryWithCache is PolicyFactory with a caller-supplied cost
+// cache, so batch transpilation can share one warmed cache across
+// circuits; nil allocates a fresh cache. The returned factory is safe
+// to call from concurrent routing trials.
+func PolicyFactoryWithCache(cov *polytope.CoverageSet, mix [4]float64,
+	cache *polytope.CostCache) sabre.PolicyFactory {
+	if cache == nil {
+		cache = polytope.NewCostCache(0)
+	}
 	// Build the cumulative distribution once.
 	var cum [4]float64
 	total := 0.0
@@ -130,7 +141,16 @@ func PolicyFactory(cov *polytope.CoverageSet, mix [4]float64) sabre.PolicyFactor
 // FixedPolicyFactory uses one aggression level for every trial
 // (used by the Fig. 10 aggression study).
 func FixedPolicyFactory(cov *polytope.CoverageSet, level Aggression) sabre.PolicyFactory {
-	cache := polytope.NewCostCache(0)
+	return FixedPolicyFactoryWithCache(cov, level, nil)
+}
+
+// FixedPolicyFactoryWithCache is FixedPolicyFactory with a shared cost
+// cache; nil allocates a fresh one.
+func FixedPolicyFactoryWithCache(cov *polytope.CoverageSet, level Aggression,
+	cache *polytope.CostCache) sabre.PolicyFactory {
+	if cache == nil {
+		cache = polytope.NewCostCache(0)
+	}
 	return func(trial int) sabre.MirrorPolicy {
 		return NewPolicy(cov, cache, level)
 	}
@@ -161,7 +181,12 @@ func GateWeight(cov *polytope.CoverageSet, cache *polytope.CostCache) circuit.We
 // SWAPs (Section VI-A: optimising for depth rather than SWAPs yields
 // an additional 7.5% improvement).
 func DepthMetric(cov *polytope.CoverageSet) sabre.Metric {
-	cache := polytope.NewCostCache(0)
+	return DepthMetricWithCache(cov, nil)
+}
+
+// DepthMetricWithCache is DepthMetric with a shared cost cache; nil
+// allocates a fresh one.
+func DepthMetricWithCache(cov *polytope.CoverageSet, cache *polytope.CostCache) sabre.Metric {
 	w := GateWeight(cov, cache)
 	return func(r *sabre.Result) float64 {
 		// Consolidate first so a router SWAP adjacent to a same-pair

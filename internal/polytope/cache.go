@@ -12,8 +12,14 @@ import (
 // decomposition costs described in the paper's Section VI-C ("an LRU
 // software cache for each circuit polytope ... ensures that each
 // coordinate only needs to be queried once"). It is safe for
-// concurrent use.
+// concurrent use: the table is sharded by key hash so that parallel
+// routing trials hitting the cache contend on independent locks rather
+// than one global mutex.
 type CostCache struct {
+	shards []*cacheShard
+}
+
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List
@@ -33,16 +39,38 @@ type cacheEntry struct {
 	k    int
 }
 
+// cacheShardCount is the maximum shard fan-out; minShardCapacity keeps
+// each shard's LRU large enough that hot keys colliding on one shard
+// don't thrash-evict each other, so small caches use fewer shards (a
+// capacity below 2*minShardCapacity degenerates to one plain LRU, the
+// pre-sharding behavior). Summed per-shard capacities never exceed the
+// requested total.
+const (
+	cacheShardCount  = 16
+	minShardCapacity = 64
+)
+
 // NewCostCache returns an LRU cache holding up to capacity entries.
 func NewCostCache(capacity int) *CostCache {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &CostCache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[cacheKey]*list.Element, capacity),
+	n := capacity / minShardCapacity
+	if n > cacheShardCount {
+		n = cacheShardCount
 	}
+	if n < 1 {
+		n = 1
+	}
+	cc := &CostCache{shards: make([]*cacheShard, n)}
+	for i := range cc.shards {
+		cc.shards[i] = &cacheShard{
+			capacity: capacity / n,
+			ll:       list.New(),
+			items:    make(map[cacheKey]*list.Element, capacity/n),
+		}
+	}
+	return cc
 }
 
 // quantise keys coordinates at ~1e-6 rad resolution: far finer than
@@ -57,52 +85,84 @@ func quantise(c weyl.Coordinate, mirror bool) cacheKey {
 	}
 }
 
+// hash mixes the key fields FNV-1a style for shard selection.
+func (k cacheKey) hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range [3]uint64{uint64(k.x), uint64(k.y), uint64(k.z)} {
+		h ^= v
+		h *= prime
+	}
+	if k.mirror {
+		h ^= 1
+		h *= prime
+	}
+	return h
+}
+
+func (cc *CostCache) shardFor(key cacheKey) *cacheShard {
+	return cc.shards[key.hash()%uint64(len(cc.shards))]
+}
+
 // CostOf returns the (possibly cached) minimum cost of c in cs.
 func (cc *CostCache) CostOf(cs *CoverageSet, c weyl.Coordinate, mirror bool) (cost float64, k int) {
 	key := quantise(c, mirror)
-	cc.mu.Lock()
-	if el, ok := cc.items[key]; ok {
-		cc.ll.MoveToFront(el)
+	s := cc.shardFor(key)
+
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
-		cc.hits++
-		cc.mu.Unlock()
+		s.hits++
+		s.mu.Unlock()
 		return e.cost, e.k
 	}
-	cc.misses++
-	cc.mu.Unlock()
+	s.misses++
+	s.mu.Unlock()
 
 	r, ok := cs.MinCost(c, mirror)
 	if !ok {
 		r = cs.Regions[len(cs.Regions)-1]
 	}
 
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if el, ok := cc.items[key]; ok { // raced with another fill
-		cc.ll.MoveToFront(el)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok { // raced with another fill
+		s.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		return e.cost, e.k
 	}
-	el := cc.ll.PushFront(&cacheEntry{key: key, cost: r.Cost, k: r.K})
-	cc.items[key] = el
-	if cc.ll.Len() > cc.capacity {
-		last := cc.ll.Back()
-		cc.ll.Remove(last)
-		delete(cc.items, last.Value.(*cacheEntry).key)
+	el := s.ll.PushFront(&cacheEntry{key: key, cost: r.Cost, k: r.K})
+	s.items[key] = el
+	if s.ll.Len() > s.capacity {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.items, last.Value.(*cacheEntry).key)
 	}
 	return r.Cost, r.K
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (cc *CostCache) Stats() (hits, misses int64) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	return cc.hits, cc.misses
+	for _, s := range cc.shards {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // Len returns the number of cached entries.
 func (cc *CostCache) Len() int {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	return cc.ll.Len()
+	n := 0
+	for _, s := range cc.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -1,0 +1,86 @@
+package polytope
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/weyl"
+)
+
+// TestCostCacheConcurrent hammers one shared cache from many
+// goroutines (run under -race in CI): results must match the uncached
+// coverage answer, the accounting must not lose queries, and the entry
+// count must respect the capacity bound.
+func TestCostCacheConcurrent(t *testing.T) {
+	cs := NewCNOTCoverage()
+	cc := NewCostCache(64)
+
+	// A small working set so goroutines collide on the same keys.
+	coords := make([]weyl.Coordinate, 32)
+	rng := rand.New(rand.NewSource(21))
+	for i := range coords {
+		coords[i] = weyl.HaarSample(rng)
+	}
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := coords[(w*perWorker+i)%len(coords)]
+				mirror := i%2 == 0
+				got, _ := cc.CostOf(cs, c, mirror)
+				want := cs.CostOf(c, mirror)
+				if got != want {
+					t.Errorf("concurrent CostOf(%v, %v) = %g, want %g", c, mirror, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits, misses := cc.Stats()
+	if hits+misses != workers*perWorker {
+		t.Fatalf("stats lost queries: hits+misses = %d, want %d", hits+misses, workers*perWorker)
+	}
+	if cc.Len() > 64 {
+		t.Fatalf("cache exceeded capacity: %d entries", cc.Len())
+	}
+}
+
+// TestCostCacheTinyCapacityConcurrent exercises the degenerate
+// single-entry-per-shard configuration under contention.
+func TestCostCacheTinyCapacityConcurrent(t *testing.T) {
+	cs := NewCNOTCoverage()
+	cc := NewCostCache(2)
+	rng := rand.New(rand.NewSource(22))
+	coords := make([]weyl.Coordinate, 8)
+	for i := range coords {
+		coords[i] = weyl.HaarSample(rng)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := coords[(w+i)%len(coords)]
+				got, _ := cc.CostOf(cs, c, false)
+				if want := cs.CostOf(c, false); got != want {
+					t.Errorf("CostOf(%v) = %g, want %g", c, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if cc.Len() > 2 {
+		t.Fatalf("tiny cache exceeded capacity: %d entries", cc.Len())
+	}
+}

@@ -41,7 +41,13 @@ func TestPropertyDoubleMirrorCostStable(t *testing.T) {
 // applications is reachable with k+1 (verified on Haar samples; the
 // empirical builder must respect monotonicity).
 func TestPropertyCoverageMonotone(t *testing.T) {
-	for _, n := range []int{2, 3} {
+	ns := []int{2, 3}
+	if testing.Short() {
+		// The n=3 coverage set is built empirically (~25s exhaustive
+		// support sweep); the n=2 set is exact and fast.
+		ns = []int{2}
+	}
+	for _, n := range ns {
 		cov := NewISwapRootCoverage(n)
 		rng := rand.New(rand.NewSource(int64(n)))
 		for i := 0; i < 200; i++ {
@@ -69,7 +75,12 @@ func TestPropertyCoverageMonotone(t *testing.T) {
 // iSWAP-root basis, CNOT-class gates are cheaper than SWAP and
 // mirroring identity yields SWAP's cost.
 func TestPropertyCnotCheaperThanSwap(t *testing.T) {
-	for _, n := range []int{2, 3, 4} {
+	ns := []int{2, 3, 4}
+	if testing.Short() {
+		// n=3 and n=4 require the ~30s empirical polytope build.
+		ns = []int{2}
+	}
+	for _, n := range ns {
 		cov := NewISwapRootCoverage(n)
 		cxCost := cov.CostOf(weyl.CNOTCoord, false)
 		swCost := cov.CostOf(weyl.SwapCoord, false)

@@ -1,0 +1,91 @@
+// Package pool provides a bounded worker pool for CPU-bound fan-out:
+// routing trials, batch transpilation, and any other embarrassingly
+// parallel stage of the pipeline. The helpers are deliberately small —
+// deterministic index-ordered error selection is the one property the
+// callers rely on, so that a parallel run fails identically to a
+// serial one regardless of goroutine scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size normalises a parallelism knob: values <= 0 mean "one worker per
+// available CPU" (GOMAXPROCS), anything else is taken literally.
+func Size(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most parallelism
+// concurrent workers and returns the error of the lowest failing index
+// (nil if all succeed). Results must be written by fn into caller-owned
+// slices indexed by i; all writes happen-before ForEach returns. With
+// parallelism <= 1 the loop degenerates to a plain serial for-loop.
+//
+// Failure sheds remaining work like the serial loop does: once index i
+// fails, indices above i are skipped (indices below it still run, so
+// the lowest failing index — which is what serial iteration would have
+// stopped at, fn being deterministic per index — is always the one
+// reported).
+func ForEach(parallelism, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	parallelism = Size(parallelism)
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var failed atomic.Int64 // lowest failing index seen so far
+	failed.Store(int64(n))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if int64(i) > failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if int64(i) > failed.Load() {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

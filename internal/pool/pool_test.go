@@ -1,0 +1,113 @@
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSize(t *testing.T) {
+	if got := Size(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Size(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Size(7); got != 7 {
+		t.Fatalf("Size(7) = %d", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 16} {
+		const n = 100
+		counts := make([]int32, n)
+		err := ForEach(par, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("par=%d: index %d ran %d times", par, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const par, n = 3, 50
+	var cur, peak int32
+	var mu sync.Mutex
+	err := ForEach(par, n, func(i int) error {
+		v := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if v > peak {
+			peak = v
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > par {
+		t.Fatalf("observed %d concurrent tasks, pool bounded at %d", peak, par)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, par := range []int{1, 4} {
+		err := ForEach(par, 20, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 17:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("par=%d: got %v, want the lowest-index error", par, err)
+		}
+	}
+}
+
+func TestForEachShedsWorkAfterFailure(t *testing.T) {
+	errBoom := errors.New("boom")
+	const n = 512
+	var executed int32
+	err := ForEach(4, n, func(i int) error {
+		atomic.AddInt32(&executed, 1)
+		if i == 0 {
+			return errBoom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("got %v, want errBoom", err)
+	}
+	// Index 0 fails within microseconds while every other task sleeps,
+	// so the feeder must stop long before all 512 indices dispatch.
+	if got := atomic.LoadInt32(&executed); got > n/2 {
+		t.Fatalf("executed %d of %d tasks after an index-0 failure", got, n)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for an empty range")
+	}
+}

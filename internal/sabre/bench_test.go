@@ -1,0 +1,54 @@
+package sabre
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/topology"
+)
+
+// benchCircuit builds a random 2Q-heavy circuit sized to make the
+// trial grid the dominant cost.
+func benchCircuit(qubits, twoQ int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(41))
+	c := circuit.New("bench", qubits)
+	for g := 0; g < twoQ; g++ {
+		a, b := rng.Intn(qubits), rng.Intn(qubits)
+		if a == b {
+			continue
+		}
+		c.Add(gates.CX(), a, b)
+	}
+	return c
+}
+
+// BenchmarkFindBestRouting compares the trial engine serial vs one
+// worker per CPU; results are identical, only wall time differs.
+func BenchmarkFindBestRouting(b *testing.B) {
+	topo := topology.Grid(4, 4)
+	c := benchCircuit(16, 60)
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel_%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := FindBestRouting(c, topo, LayoutOptions{
+					LayoutTrials: 8, RoutingTrials: 8, FwdBwdPasses: 2, Seed: 3,
+					Parallelism: mode.par,
+				}, SwapCountMetric, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.SwapsInserted), "swaps")
+			}
+		})
+	}
+}

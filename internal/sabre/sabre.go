@@ -13,9 +13,11 @@ package sabre
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/gates"
+	"repro/internal/pool"
 	"repro/internal/topology"
 )
 
@@ -315,6 +317,12 @@ type LayoutOptions struct {
 	RoutingTrials int // independent routings of the final pass (default 20)
 	FwdBwdPasses  int // forward/backward refinement rounds (default 4)
 	Seed          int64
+	// Parallelism bounds the worker count used to run layout and
+	// routing trials concurrently: 0 means one worker per CPU
+	// (GOMAXPROCS), 1 forces serial execution. Every trial draws its
+	// randomness from its own deterministically seeded generator, so
+	// the result is bit-identical for a given Seed at any worker count.
+	Parallelism int
 }
 
 // WithDefaults fills unset fields with the paper's configuration.
@@ -344,6 +352,14 @@ type PolicyFactory func(trial int) MirrorPolicy
 // random initial layout is refined by forward/backward routing passes,
 // then the circuit is routed RoutingTrials times independently; the
 // best result under the metric is returned.
+//
+// Trials are dispatched to a bounded worker pool
+// (LayoutOptions.Parallelism workers) in two waves — layout refinement
+// first, then the flat LayoutTrials x RoutingTrials routing grid. Each
+// trial owns a generator seeded from (Seed, trial index) alone and
+// ties between equal-scoring trials break toward the lowest trial
+// index, so the chosen result is independent of worker count and
+// scheduling order.
 func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOptions,
 	metric Metric, factory PolicyFactory) (*Result, error) {
 
@@ -358,41 +374,71 @@ func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOpt
 		return nil, fmt.Errorf("sabre: topology %s is disconnected", topo.Name)
 	}
 	rev := c.Reversed()
-	var best *Result
-	bestScore := 0.0
-	trial := 0
-	for lt := 0; lt < opts.LayoutTrials; lt++ {
+	workers := pool.Size(opts.Parallelism)
+
+	// Wave 1: refine one initial layout per layout trial.
+	// Forward/backward refinement: route forward, then route the
+	// reversed circuit from the final layout; its final layout becomes
+	// the new initial layout.
+	layouts := make([]*topology.Layout, opts.LayoutTrials)
+	err := pool.ForEach(workers, opts.LayoutTrials, func(lt int) error {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(1000*lt)))
 		layout := RandomLayout(c.NumQubits, topo, rng)
-		// Forward/backward refinement: route forward, then route the
-		// reversed circuit from the final layout; its final layout
-		// becomes the new initial layout.
 		for pass := 0; pass < opts.FwdBwdPasses; pass++ {
 			fwd, err := Route(c, topo, layout, opts.Routing, rng, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			bwd, err := Route(rev, topo, projectLayout(fwd.FinalLayout, c.NumQubits), opts.Routing, rng, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			layout = projectLayout(bwd.FinalLayout, c.NumQubits)
 		}
-		for rt := 0; rt < opts.RoutingTrials; rt++ {
-			var policy MirrorPolicy
-			if factory != nil {
-				policy = factory(trial)
-			}
-			trial++
-			rrng := rand.New(rand.NewSource(opts.Seed + int64(1000*lt+rt) + 500000))
-			res, err := Route(c, topo, layout, opts.Routing, rrng, policy)
-			if err != nil {
-				return nil, err
-			}
-			if score := metric(res); best == nil || score < bestScore {
-				best, bestScore = res, score
-			}
+		layouts[lt] = layout
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Wave 2: the routing grid. Trial t = lt*RoutingTrials + rt routes
+	// from layouts[lt]; scoring happens inside the worker so that
+	// expensive metrics (polytope-weighted depth) parallelise too. The
+	// argmin is kept online under a mutex — only the current best
+	// Result stays resident, not all LayoutTrials x RoutingTrials of
+	// them — and the lexicographic (score, trial index) order makes
+	// the winner independent of goroutine scheduling: it is exactly
+	// the first trial the serial loop would have seen reach the
+	// minimum score.
+	n := opts.LayoutTrials * opts.RoutingTrials
+	var (
+		mu        sync.Mutex
+		best      *Result
+		bestScore float64
+		bestTrial int
+	)
+	err = pool.ForEach(workers, n, func(t int) error {
+		lt, rt := t/opts.RoutingTrials, t%opts.RoutingTrials
+		var policy MirrorPolicy
+		if factory != nil {
+			policy = factory(t)
 		}
+		rrng := rand.New(rand.NewSource(opts.Seed + int64(1000*lt+rt) + 500000))
+		res, err := Route(c, topo, layouts[lt], opts.Routing, rrng, policy)
+		if err != nil {
+			return err
+		}
+		score := metric(res)
+		mu.Lock()
+		if best == nil || score < bestScore || (score == bestScore && t < bestTrial) {
+			best, bestScore, bestTrial = res, score, t
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return best, nil
 }

@@ -1,0 +1,66 @@
+package transpile
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/polytope"
+	"repro/internal/pool"
+	"repro/internal/topology"
+)
+
+// TranspileBatch transpiles many circuits onto one topology
+// concurrently, sharing a single warmed polytope cost cache across all
+// of them (paper Section VI-C: each quantised coordinate is only ever
+// evaluated once per batch). opts applies to every circuit; the
+// returned slice is index-aligned with the input and every report is
+// identical to what a lone Transpile call with the same options would
+// produce. On error the first failure in input order is returned.
+//
+// Worker budgeting: the total budget is opts.Parallelism, falling
+// back to opts.Layout.Parallelism when unset (0 = GOMAXPROCS), and is
+// split between circuit-level fan-out and per-circuit routing trials
+// — with many circuits each one routes serially, with few circuits
+// the leftover workers parallelise the trials inside each circuit. A
+// budget of 1 runs everything serially.
+func TranspileBatch(circuits []*circuit.Circuit, topo *topology.Topology, opts Options) ([]*Report, error) {
+	if len(circuits) == 0 {
+		return nil, nil
+	}
+	if opts.Basis == nil {
+		opts.Basis = polytope.NewISwapRootCoverage(2)
+	}
+	if opts.Cache == nil {
+		opts.Cache = polytope.NewCostCache(0)
+	}
+	budget := opts.Parallelism
+	if budget == 0 {
+		budget = opts.Layout.Parallelism
+	}
+	workers := pool.Size(budget)
+	outer := workers
+	if outer > len(circuits) {
+		outer = len(circuits)
+	}
+	// Split the budget across the outer slots, spreading the remainder
+	// so no worker sits idle when outer does not divide workers (e.g.
+	// 8 workers over 3 circuits run their trials at 3/3/2, not 2/2/2).
+	inner, rem := workers/outer, workers%outer
+
+	reports := make([]*Report, len(circuits))
+	err := pool.ForEach(outer, len(circuits), func(i int) error {
+		o := opts
+		o.Parallelism = inner
+		if i%outer < rem {
+			o.Parallelism++
+		}
+		rep, err := Transpile(circuits[i], topo, o)
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
+}

@@ -1,0 +1,103 @@
+package transpile
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/polytope"
+	"repro/internal/sabre"
+	"repro/internal/topology"
+)
+
+func batchOpts() Options {
+	return Options{
+		Router:            MIRAGE,
+		DepthSelection:    true,
+		Layout:            sabre.LayoutOptions{LayoutTrials: 2, RoutingTrials: 2, FwdBwdPasses: 1, Seed: 5},
+		SkipTrivialLayout: true,
+	}
+}
+
+// TestTranspileBatchMatchesIndividual: batching must be a pure
+// performance optimisation — per-circuit reports are identical to lone
+// Transpile calls with the same options, at any parallelism.
+func TestTranspileBatchMatchesIndividual(t *testing.T) {
+	topo := topology.SquareLattice66()
+	circs := []*circuit.Circuit{bench.QFT(8), bench.GHZ(10), bench.TwoLocal(6)}
+
+	var solo []*Report
+	for _, c := range circs {
+		rep, err := Transpile(c, topo, batchOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo = append(solo, rep)
+	}
+
+	for _, par := range []int{1, 4, -1} {
+		opts := batchOpts()
+		if par < 0 {
+			// Budget set only through the embedded layout options
+			// (must be honored, not overridden by the batch fan-out).
+			opts.Layout.Parallelism = 1
+		} else {
+			opts.Parallelism = par
+		}
+		batch, err := TranspileBatch(circs, topo, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(circs) {
+			t.Fatalf("par=%d: got %d reports for %d circuits", par, len(batch), len(circs))
+		}
+		for i, rep := range batch {
+			if rep.Name != solo[i].Name ||
+				rep.DepthTime != solo[i].DepthTime ||
+				rep.TotalBasisGates != solo[i].TotalBasisGates ||
+				rep.SwapsInserted != solo[i].SwapsInserted ||
+				rep.MirrorsUsed != solo[i].MirrorsUsed {
+				t.Fatalf("par=%d: batch report %d differs from individual transpile:\n%s\n%s",
+					par, i, rep.Summary(), solo[i].Summary())
+			}
+		}
+	}
+}
+
+// TestTranspileBatchSharesCache: the supplied cache must be the one
+// the batch actually uses, accumulating queries from every circuit.
+func TestTranspileBatchSharesCache(t *testing.T) {
+	topo := topology.Line(6)
+	circs := []*circuit.Circuit{bench.TwoLocal(6), bench.TwoLocal(6)}
+	opts := batchOpts()
+	opts.Cache = polytope.NewCostCache(0)
+	opts.Parallelism = 2
+	if _, err := TranspileBatch(circs, topo, opts); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := opts.Cache.Stats()
+	if hits+misses == 0 {
+		t.Fatal("batch never touched the shared cost cache")
+	}
+	if hits == 0 {
+		t.Fatal("two identical circuits produced zero cache hits — cache not shared")
+	}
+}
+
+// TestTranspileBatchError: a failing circuit surfaces the error; the
+// first failure in input order wins.
+func TestTranspileBatchError(t *testing.T) {
+	topo := topology.Line(4)
+	circs := []*circuit.Circuit{bench.GHZ(4), bench.GHZ(10)} // second is oversized
+	opts := batchOpts()
+	if _, err := TranspileBatch(circs, topo, opts); err == nil {
+		t.Fatal("expected error for oversized circuit in batch")
+	}
+}
+
+func TestTranspileBatchEmpty(t *testing.T) {
+	reps, err := TranspileBatch(nil, topology.Line(4), batchOpts())
+	if err != nil || reps != nil {
+		t.Fatalf("empty batch: got (%v, %v), want (nil, nil)", reps, err)
+	}
+}

@@ -51,6 +51,16 @@ type Options struct {
 	// SkipTrivialLayout disables the VF2 swap-free check (the check is
 	// also skipped automatically for circuits that need routing).
 	SkipTrivialLayout bool
+	// Parallelism bounds the routing-trial worker count: 1 forces
+	// serial execution, negative values mean one worker per CPU, and 0
+	// defers to Layout.Parallelism (whose own zero default is also one
+	// worker per CPU). Non-zero values override Layout.Parallelism.
+	// Results are seed-deterministic at any setting.
+	Parallelism int
+	// Cache optionally supplies a shared polytope cost cache (used by
+	// TranspileBatch to keep one warmed cache across circuits); nil
+	// gives each transpilation its own cache.
+	Cache *polytope.CostCache
 }
 
 // Report is the transpilation outcome with the paper's metrics.
@@ -90,6 +100,9 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 		opts.Basis = polytope.NewISwapRootCoverage(2)
 	}
 	opts.Layout = opts.Layout.WithDefaults()
+	if opts.Parallelism != 0 {
+		opts.Layout.Parallelism = opts.Parallelism
+	}
 
 	// 1. Input cleaning.
 	clean := circuit.UnrollTo2Q(c)
@@ -122,14 +135,14 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 	// 4. Routed path.
 	metric := sabre.SwapCountMetric
 	if opts.DepthSelection {
-		metric = mirage.DepthMetric(opts.Basis)
+		metric = mirage.DepthMetricWithCache(opts.Basis, opts.Cache)
 	}
 	var factory sabre.PolicyFactory
 	if opts.Router == MIRAGE {
 		if opts.FixedAggression != nil {
-			factory = mirage.FixedPolicyFactory(opts.Basis, *opts.FixedAggression)
+			factory = mirage.FixedPolicyFactoryWithCache(opts.Basis, *opts.FixedAggression, opts.Cache)
 		} else {
-			factory = mirage.PolicyFactory(opts.Basis, mirage.DefaultMix)
+			factory = mirage.PolicyFactoryWithCache(opts.Basis, mirage.DefaultMix, opts.Cache)
 		}
 	}
 	res, err := sabre.FindBestRouting(blocks, topo, opts.Layout, metric, factory)

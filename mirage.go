@@ -128,10 +128,29 @@ const (
 type LayoutOptions = sabre.LayoutOptions
 
 // Transpile runs the full pipeline: cleaning, consolidation, trivial
-// layout check, SABRE/MIRAGE routing, metrics.
+// layout check, SABRE/MIRAGE routing, metrics. Routing trials run on a
+// bounded worker pool (Options.Parallelism; 0 = one worker per CPU)
+// with seed-deterministic results at any worker count.
 func Transpile(c *Circuit, topo *Topology, opts Options) (*Report, error) {
 	return transpile.Transpile(c, topo, opts)
 }
+
+// TranspileBatch transpiles many circuits onto one topology
+// concurrently, sharing a single warmed decomposition-cost cache
+// across all of them. Reports are index-aligned with the input and
+// identical to what individual Transpile calls would produce.
+func TranspileBatch(circuits []*Circuit, topo *Topology, opts Options) ([]*Report, error) {
+	return transpile.TranspileBatch(circuits, topo, opts)
+}
+
+// CostCache is the sharded LRU cache from quantised Weyl coordinates
+// to decomposition costs (paper Section VI-C); pass one via
+// Options.Cache to keep it warm across Transpile/TranspileBatch calls.
+type CostCache = polytope.CostCache
+
+// NewCostCache returns a cost cache holding up to capacity entries
+// (<= 0 selects the default size).
+func NewCostCache(capacity int) *CostCache { return polytope.NewCostCache(capacity) }
 
 // --- Weyl chamber analysis ---
 
