@@ -1,0 +1,115 @@
+// Command benchdiff compares two BENCH_routing.json files (as written
+// by cmd/benchsuite -fig 12) and reports per-row and aggregate deltas.
+// CI runs it against the previous workflow run's artifact to track the
+// performance trajectory across PRs:
+//
+//	benchdiff old.json new.json
+//
+// Quality metrics (depth, gates, swaps) are seed-deterministic, so any
+// delta there is a behaviour change worth explaining in review; wall
+// times vary with hardware and are reported as context only. With
+// -max-depth-regress set, the exit code turns a quality regression
+// beyond the threshold into a CI failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+type key struct{ circuit, router string }
+
+func pct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "   0.0%"
+		}
+		return "    new"
+	}
+	return fmt.Sprintf("%+6.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	maxDepthRegress := flag.Float64("max-depth-regress", 0,
+		"fail (exit 1) if any row's depth_pulses regresses by more than this percentage (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-depth-regress PCT] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldF, err := bench.ReadRoutingBenchFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newF, err := bench.ReadRoutingBenchFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchdiff: %s -> %s\n", flag.Arg(0), flag.Arg(1))
+	fmt.Printf("old: %s trials=%dx%d patience=%d seed=%d parallel=%d wall=%.0fms\n",
+		oldF.Topology, oldF.LayoutTrials, oldF.RoutingTrials, oldF.ConvergencePatience,
+		oldF.Seed, oldF.Parallelism, oldF.TotalWallMS)
+	fmt.Printf("new: %s trials=%dx%d patience=%d seed=%d parallel=%d wall=%.0fms (%s)\n",
+		newF.Topology, newF.LayoutTrials, newF.RoutingTrials, newF.ConvergencePatience,
+		newF.Seed, newF.Parallelism, newF.TotalWallMS, pct(oldF.TotalWallMS, newF.TotalWallMS))
+	comparable := oldF.Topology == newF.Topology && oldF.Seed == newF.Seed &&
+		oldF.LayoutTrials == newF.LayoutTrials && oldF.RoutingTrials == newF.RoutingTrials
+	if !comparable {
+		fmt.Println("note: run configurations differ; quality deltas are not apples-to-apples")
+	}
+
+	oldRows := make(map[key]bench.RoutingRow, len(oldF.Rows))
+	for _, r := range oldF.Rows {
+		oldRows[key{r.Circuit, r.Router}] = r
+	}
+
+	fmt.Printf("\n%-22s %-7s | %16s | %16s | %13s | %16s | %11s\n",
+		"circuit", "router", "depth", "gates", "swaps", "wall_ms", "trials")
+	var regressions []string
+	matched := 0
+	for _, n := range newF.Rows {
+		o, ok := oldRows[key{n.Circuit, n.Router}]
+		if !ok {
+			fmt.Printf("%-22s %-7s | (no previous row)\n", n.Circuit, n.Router)
+			continue
+		}
+		matched++
+		delete(oldRows, key{n.Circuit, n.Router})
+		fmt.Printf("%-22s %-7s | %7.1f %s | %7.0f %s | %5d %s | %7.1f %s | %4d->%-4d\n",
+			n.Circuit, n.Router,
+			n.DepthPulses, pct(o.DepthPulses, n.DepthPulses),
+			n.TotalGates, pct(o.TotalGates, n.TotalGates),
+			n.Swaps, pct(float64(o.Swaps), float64(n.Swaps)),
+			n.WallMS, pct(o.WallMS, n.WallMS),
+			o.TrialsExecuted, n.TrialsExecuted)
+		if comparable && *maxDepthRegress > 0 && o.DepthPulses > 0 {
+			regress := 100 * (n.DepthPulses - o.DepthPulses) / o.DepthPulses
+			if regress > *maxDepthRegress {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s depth +%.1f%%", n.Circuit, n.Router, regress))
+			}
+		}
+	}
+	for k := range oldRows {
+		fmt.Printf("%-22s %-7s | (row dropped in new run)\n", k.circuit, k.router)
+	}
+	if oldF.Cache != nil && newF.Cache != nil {
+		fmt.Printf("\ncost cache: hit rate %.1f%% -> %.1f%% (warm-start entries %d -> %d)\n",
+			100*oldF.Cache.HitRate, 100*newF.Cache.HitRate,
+			oldF.Cache.LoadedEntries, newF.Cache.LoadedEntries)
+	}
+	fmt.Printf("matched %d of %d rows\n", matched, len(newF.Rows))
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "depth regressions beyond %.1f%%:\n", *maxDepthRegress)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+}

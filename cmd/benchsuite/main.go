@@ -5,7 +5,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,21 +14,48 @@ import (
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/mirage"
+	"repro/internal/polytope"
 	"repro/internal/pool"
 	"repro/internal/sabre"
 	"repro/internal/topology"
 	"repro/internal/transpile"
 )
 
+// runConfig carries the scheduler/engine knobs and the (optionally
+// persistent) decomposition-cost cache through every experiment.
+type runConfig struct {
+	layout       sabre.LayoutOptions
+	patience     int
+	scoreWorkers int
+	cache        *polytope.CostCache
+	cacheLoaded  int // entries merged from -cache-file at startup
+}
+
+func (rc *runConfig) options(router transpile.Router, depth bool, fixed *mirage.Aggression) transpile.Options {
+	return transpile.Options{
+		Router:              router,
+		DepthSelection:      depth,
+		FixedAggression:     fixed,
+		Layout:              rc.layout,
+		ConvergencePatience: rc.patience,
+		ScoreWorkers:        rc.scoreWorkers,
+		Cache:               rc.cache,
+		SkipTrivialLayout:   true, // the suite circuits all need routing
+	}
+}
+
 func main() {
 	var (
-		fig      = flag.String("fig", "12", "experiment: 10 | 11 | 12 | table3")
-		topoName = flag.String("topology", "square", "topology for fig 11/12: square | heavyhex")
-		quick    = flag.Bool("quick", false, "reduced trial counts and circuit subset")
-		trials   = flag.Int("trials", 0, "layout/routing trials (0 = paper defaults 20/20, quick = 4/4)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "routing-trial workers (0 = one per CPU, 1 = serial)")
-		jsonPath = flag.String("json", "BENCH_routing.json", "machine-readable fig-12 results file (empty = disabled)")
+		fig       = flag.String("fig", "12", "experiment: 10 | 11 | 12 | table3")
+		topoName  = flag.String("topology", "square", "topology for fig 11/12: square | heavyhex")
+		quick     = flag.Bool("quick", false, "reduced trial counts and circuit subset")
+		trials    = flag.Int("trials", 0, "layout/routing trials (0 = paper defaults 20/20, quick = 4/4)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		parallel  = flag.Int("parallel", 0, "routing-trial workers (0 = one per CPU, 1 = serial)")
+		patience  = flag.Int("patience", 0, "stop scheduling trials after N consecutive non-improving trial indices (0 = fixed grid)")
+		scoreWork = flag.Int("score-workers", 0, "workers for SWAP-candidate scoring inside each trial (0/1 = serial)")
+		cacheFile = flag.String("cache-file", "", "persistent decomposition-cost cache: loaded at startup, saved at exit")
+		jsonPath  = flag.String("json", "BENCH_routing.json", "machine-readable fig-12 results file (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -40,23 +66,46 @@ func main() {
 	if *trials > 0 {
 		lt, rt = *trials, *trials
 	}
-	layout := sabre.LayoutOptions{
-		LayoutTrials: lt, RoutingTrials: rt, FwdBwdPasses: fb, Seed: *seed,
-		Parallelism: *parallel,
+	rc := &runConfig{
+		layout: sabre.LayoutOptions{
+			LayoutTrials: lt, RoutingTrials: rt, FwdBwdPasses: fb, Seed: *seed,
+			Parallelism: *parallel,
+		},
+		patience:     *patience,
+		scoreWorkers: *scoreWork,
+		cache:        polytope.NewCostCache(0),
+	}
+	if *cacheFile != "" {
+		n, err := rc.cache.LoadFile(*cacheFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading %s: %v\n", *cacheFile, err)
+			os.Exit(1)
+		}
+		rc.cacheLoaded = n
+		fmt.Printf("cost cache: warm-started with %d entries from %s\n", n, *cacheFile)
 	}
 
 	switch *fig {
 	case "table3":
 		runTable3()
 	case "10":
-		runFig10(layout, *quick)
+		runFig10(rc)
 	case "11":
-		runFig11(layout, pickTopo(*topoName), *quick)
+		runFig11(rc, pickTopo(*topoName), *quick)
 	case "12":
-		runFig12(layout, pickTopo(*topoName), *quick, *jsonPath)
+		runFig12(rc, pickTopo(*topoName), *quick, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		os.Exit(1)
+	}
+
+	if *cacheFile != "" {
+		if err := rc.cache.SaveFile(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *cacheFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cost cache: saved %d entries to %s (hit rate %.1f%%)\n",
+			rc.cache.Len(), *cacheFile, 100*rc.cache.HitRate())
 	}
 }
 
@@ -96,14 +145,8 @@ func runTable3() {
 }
 
 func transpileOne(c *circuit.Circuit, topo *topology.Topology, router transpile.Router,
-	depth bool, fixed *mirage.Aggression, layout sabre.LayoutOptions) *transpile.Report {
-	rep, err := transpile.Transpile(c, topo, transpile.Options{
-		Router:            router,
-		DepthSelection:    depth,
-		FixedAggression:   fixed,
-		Layout:            layout,
-		SkipTrivialLayout: true, // the suite circuits all need routing
-	})
+	depth bool, fixed *mirage.Aggression, rc *runConfig) *transpile.Report {
+	rep, err := transpile.Transpile(c, topo, rc.options(router, depth, fixed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -111,7 +154,7 @@ func transpileOne(c *circuit.Circuit, topo *topology.Topology, router transpile.
 	return rep
 }
 
-func runFig10(layout sabre.LayoutOptions, quick bool) {
+func runFig10(rc *runConfig) {
 	fmt.Println("Fig. 10 — aggression level study (average pulse depth; lower is better)")
 	names := []string{"wstate_n27", "bigadder_n18", "qft_n18", "bv_n30"}
 	topo := topology.SquareLattice66()
@@ -123,11 +166,11 @@ func runFig10(layout sabre.LayoutOptions, quick bool) {
 			os.Exit(1)
 		}
 		c := e.Build()
-		base := transpileOne(c, topo, transpile.SABRE, false, nil, layout)
+		base := transpileOne(c, topo, transpile.SABRE, false, nil, rc)
 		row := fmt.Sprintf("%-16s %10.1f", name, base.DepthPulses)
 		for lvl := 0; lvl <= 3; lvl++ {
 			a := mirage.Aggression(lvl)
-			rep := transpileOne(c, topo, transpile.MIRAGE, true, &a, layout)
+			rep := transpileOne(c, topo, transpile.MIRAGE, true, &a, rc)
 			row += fmt.Sprintf(" %10.1f", rep.DepthPulses)
 		}
 		fmt.Println(row)
@@ -136,15 +179,15 @@ func runFig10(layout sabre.LayoutOptions, quick bool) {
 	fmt.Println("which motivates the mixed 5/45/45/5 trial distribution.")
 }
 
-func runFig11(layout sabre.LayoutOptions, topo *topology.Topology, quick bool) {
+func runFig11(rc *runConfig, topo *topology.Topology, quick bool) {
 	fmt.Printf("Fig. 11 — post-selection metric study on %s\n", topo.Name)
 	fmt.Printf("%-22s %10s %14s %14s\n", "circuit", "qiskit", "mirage-swaps", "mirage-depth")
 	var dq, ds, dd float64
 	for _, e := range suite(quick) {
 		c := e.Build()
-		q := transpileOne(c, topo, transpile.SABRE, false, nil, layout)
-		s := transpileOne(c, topo, transpile.MIRAGE, false, nil, layout)
-		d := transpileOne(c, topo, transpile.MIRAGE, true, nil, layout)
+		q := transpileOne(c, topo, transpile.SABRE, false, nil, rc)
+		s := transpileOne(c, topo, transpile.MIRAGE, false, nil, rc)
+		d := transpileOne(c, topo, transpile.MIRAGE, true, nil, rc)
 		fmt.Printf("%-22s %10.1f %14.1f %14.1f\n", e.Name, q.DepthPulses, s.DepthPulses, d.DepthPulses)
 		dq += q.DepthPulses
 		ds += s.DepthPulses
@@ -155,48 +198,11 @@ func runFig11(layout sabre.LayoutOptions, topo *topology.Topology, quick bool) {
 	fmt.Println("(paper: 24.1% and 29.5% on the full suite with 20/20/4 trials)")
 }
 
-// benchRow is one circuit x router measurement in BENCH_routing.json.
-type benchRow struct {
-	Circuit     string  `json:"circuit"`
-	Router      string  `json:"router"`
-	WallMS      float64 `json:"wall_ms"`
-	DepthPulses float64 `json:"depth_pulses"`
-	TotalGates  float64 `json:"total_gates"`
-	Swaps       int     `json:"swaps"`
-	Mirrors     int     `json:"mirrors"`
-}
-
-// benchFile is the BENCH_routing.json schema: enough metadata to
-// compare runs across machines and PRs.
-type benchFile struct {
-	Topology     string     `json:"topology"`
-	LayoutTrials int        `json:"layout_trials"`
-	RoutingTrial int        `json:"routing_trials"`
-	Seed         int64      `json:"seed"`
-	Parallelism  int        `json:"parallelism"`
-	GOMAXPROCS   int        `json:"gomaxprocs"`
-	TotalWallMS  float64    `json:"total_wall_ms"`
-	Rows         []benchRow `json:"rows"`
-}
-
-func writeBenchJSON(path string, f benchFile) {
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s (%d rows)\n", path, len(f.Rows))
-}
-
-func runFig12(layout sabre.LayoutOptions, topo *topology.Topology, quick bool, jsonPath string) {
-	fmt.Printf("Fig. 12 — MIRAGE vs Qiskit-SABRE on %s (%d workers)\n",
-		topo.Name, pool.Size(layout.Parallelism))
-	fmt.Printf("%-22s | %9s %9s | %9s %9s | %6s %6s | %8s\n",
-		"circuit", "q-depth", "m-depth", "q-gates", "m-gates", "q-swp", "m-swp", "mirror%")
+func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath string) {
+	fmt.Printf("Fig. 12 — MIRAGE vs Qiskit-SABRE on %s (%d workers, patience %d)\n",
+		topo.Name, pool.Size(rc.layout.Parallelism), rc.patience)
+	fmt.Printf("%-22s | %9s %9s | %9s %9s | %6s %6s | %8s | %11s\n",
+		"circuit", "q-depth", "m-depth", "q-gates", "m-gates", "q-swp", "m-swp", "mirror%", "trials")
 	var (
 		sumDepthQ, sumDepthM   float64
 		sumGatesQ, sumGatesM   float64
@@ -205,24 +211,26 @@ func runFig12(layout sabre.LayoutOptions, topo *topology.Topology, quick bool, j
 		count                  int
 	)
 	start := time.Now()
-	var rows []benchRow
+	var rows []bench.RoutingRow
 	addRow := func(name string, rep *transpile.Report) {
-		rows = append(rows, benchRow{
+		rows = append(rows, bench.RoutingRow{
 			Circuit: name, Router: rep.Router,
 			WallMS:      float64(rep.Runtime.Microseconds()) / 1000,
 			DepthPulses: rep.DepthPulses, TotalGates: rep.TotalBasisGates,
 			Swaps: rep.SwapsInserted, Mirrors: rep.MirrorsUsed,
+			TrialsExecuted: rep.TrialsExecuted, TrialsBudgeted: rep.TrialsBudgeted,
 		})
 	}
 	for _, e := range suite(quick) {
 		c := e.Build()
-		q := transpileOne(c, topo, transpile.SABRE, false, nil, layout)
-		m := transpileOne(c, topo, transpile.MIRAGE, true, nil, layout)
+		q := transpileOne(c, topo, transpile.SABRE, false, nil, rc)
+		m := transpileOne(c, topo, transpile.MIRAGE, true, nil, rc)
 		addRow(e.Name, q)
 		addRow(e.Name, m)
-		fmt.Printf("%-22s | %9.1f %9.1f | %9.0f %9.0f | %6d %6d | %7.1f%%\n",
+		fmt.Printf("%-22s | %9.1f %9.1f | %9.0f %9.0f | %6d %6d | %7.1f%% | %4d+%d/%d\n",
 			e.Name, q.DepthPulses, m.DepthPulses, q.TotalBasisGates, m.TotalBasisGates,
-			q.SwapsInserted, m.SwapsInserted, 100*m.MirrorAcceptRate)
+			q.SwapsInserted, m.SwapsInserted, 100*m.MirrorAcceptRate,
+			q.TrialsExecuted, m.TrialsExecuted, m.TrialsBudgeted)
 		sumDepthQ += q.DepthPulses
 		sumDepthM += m.DepthPulses
 		sumGatesQ += q.TotalBasisGates
@@ -251,15 +259,29 @@ func runFig12(layout sabre.LayoutOptions, topo *topology.Topology, quick bool, j
 	total := time.Since(start)
 	fmt.Printf("total runtime: %s\n", total.Round(time.Millisecond))
 	if jsonPath != "" {
-		writeBenchJSON(jsonPath, benchFile{
-			Topology:     topo.Name,
-			LayoutTrials: layout.LayoutTrials,
-			RoutingTrial: layout.RoutingTrials,
-			Seed:         layout.Seed,
-			Parallelism:  pool.Size(layout.Parallelism),
-			GOMAXPROCS:   runtime.GOMAXPROCS(0),
-			TotalWallMS:  float64(total.Microseconds()) / 1000,
-			Rows:         rows,
-		})
+		hits, misses := rc.cache.Stats()
+		f := &bench.RoutingBenchFile{
+			Topology:            topo.Name,
+			LayoutTrials:        rc.layout.LayoutTrials,
+			RoutingTrials:       rc.layout.RoutingTrials,
+			ConvergencePatience: rc.patience,
+			Seed:                rc.layout.Seed,
+			Parallelism:         pool.Size(rc.layout.Parallelism),
+			GOMAXPROCS:          runtime.GOMAXPROCS(0),
+			TotalWallMS:         float64(total.Microseconds()) / 1000,
+			Cache: &bench.RoutingCacheStats{
+				LoadedEntries: rc.cacheLoaded,
+				FinalEntries:  rc.cache.Len(),
+				Hits:          hits,
+				Misses:        misses,
+				HitRate:       rc.cache.HitRate(),
+			},
+			Rows: rows,
+		}
+		if err := f.WriteFile(jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", jsonPath, len(f.Rows))
 	}
 }

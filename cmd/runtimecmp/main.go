@@ -23,6 +23,7 @@ func main() {
 		trials   = flag.Int("trials", 2, "layout/routing trials (small: this is a runtime study)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", 0, "routing-trial workers (0 = one per CPU, 1 = serial)")
+		patience = flag.Int("patience", 0, "adaptive early-stop: consecutive non-improving trial indices before the scheduler stops (0 = fixed grid)")
 	)
 	flag.Parse()
 
@@ -46,12 +47,12 @@ func main() {
 
 	layout := sabre.LayoutOptions{
 		LayoutTrials: *trials, RoutingTrials: *trials, FwdBwdPasses: 2, Seed: *seed,
-		Parallelism: *parallel,
+		Parallelism: *parallel, ConvergencePatience: *patience,
 	}
 
-	fmt.Printf("Fig. 13b — QFT transpilation runtime (wall clock, %d workers)\n",
-		pool.Size(layout.Parallelism))
-	fmt.Printf("%-10s %8s %12s %12s %14s\n", "circuit", "qubits", "sabre", "mirage", "cache hit rate")
+	fmt.Printf("Fig. 13b — QFT transpilation runtime (wall clock, %d workers, patience %d)\n",
+		pool.Size(layout.Parallelism), *patience)
+	fmt.Printf("%-10s %8s %12s %12s %14s %12s\n", "circuit", "qubits", "sabre", "mirage", "cache hit rate", "trials")
 	for _, n := range ns {
 		c := bench.QFT(n)
 		// Pick a topology large enough for the circuit: a near-square
@@ -62,16 +63,17 @@ func main() {
 		}
 		topo := topology.Grid(rows, (n+rows-1)/rows)
 
-		tS := timeRun(c, topo, transpile.SABRE, layout)
+		tS, _ := timeRun(c, topo, transpile.SABRE, layout)
 		circuit.ResetCoordinateCache()
-		tM := timeRun(c, topo, transpile.MIRAGE, layout)
+		tM, mRep := timeRun(c, topo, transpile.MIRAGE, layout)
 		hits, misses := circuit.CoordinateCacheStats()
 		rate := 0.0
 		if hits+misses > 0 {
 			rate = float64(hits) / float64(hits+misses)
 		}
-		fmt.Printf("qft_n%-5d %8d %12s %12s %13.1f%%\n",
-			n, topo.NumQubits, tS.Round(time.Millisecond), tM.Round(time.Millisecond), 100*rate)
+		fmt.Printf("qft_n%-5d %8d %12s %12s %13.1f%% %6d/%d\n",
+			n, topo.NumQubits, tS.Round(time.Millisecond), tM.Round(time.Millisecond), 100*rate,
+			mRep.TrialsExecuted, mRep.TrialsBudgeted)
 	}
 	fmt.Println("\n(paper: MIRAGE in Python ran 47.9% faster than Qiskit's Python")
 	fmt.Println(" SABRE at n=64 thanks to the Fig. 13a caching; the absolute times")
@@ -80,9 +82,9 @@ func main() {
 }
 
 func timeRun(c *circuit.Circuit, topo *topology.Topology, r transpile.Router,
-	layout sabre.LayoutOptions) time.Duration {
+	layout sabre.LayoutOptions) (time.Duration, *transpile.Report) {
 	start := time.Now()
-	_, err := transpile.Transpile(c, topo, transpile.Options{
+	rep, err := transpile.Transpile(c, topo, transpile.Options{
 		Router:            r,
 		DepthSelection:    r == transpile.MIRAGE,
 		Layout:            layout,
@@ -91,5 +93,5 @@ func timeRun(c *circuit.Circuit, topo *topology.Topology, r transpile.Router,
 	if err != nil {
 		panic(err)
 	}
-	return time.Since(start)
+	return time.Since(start), rep
 }

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file defines the machine-readable BENCH_routing.json schema
+// shared by cmd/benchsuite (writer) and cmd/benchdiff (reader): enough
+// metadata to compare runs across machines, PRs and scheduler
+// configurations. CI uploads the file as a workflow artifact and diffs
+// it against the previous run's.
+
+// RoutingRow is one circuit x router measurement.
+type RoutingRow struct {
+	Circuit     string  `json:"circuit"`
+	Router      string  `json:"router"`
+	WallMS      float64 `json:"wall_ms"`
+	DepthPulses float64 `json:"depth_pulses"`
+	TotalGates  float64 `json:"total_gates"`
+	Swaps       int     `json:"swaps"`
+	Mirrors     int     `json:"mirrors"`
+	// TrialsExecuted < TrialsBudgeted records adaptive early-stop; the
+	// count is deterministic (defined on trial indices), so it must be
+	// identical across runs at different -parallel settings.
+	TrialsExecuted int `json:"trials_executed"`
+	TrialsBudgeted int `json:"trials_budgeted"`
+}
+
+// RoutingCacheStats reports decomposition-cost cache effectiveness for
+// the run, including warm-start bookkeeping when -cache-file is used.
+type RoutingCacheStats struct {
+	LoadedEntries int     `json:"loaded_entries"` // entries merged from the snapshot at startup
+	FinalEntries  int     `json:"final_entries"`  // entries resident at shutdown
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// RoutingBenchFile is the top-level BENCH_routing.json document.
+type RoutingBenchFile struct {
+	Topology            string             `json:"topology"`
+	LayoutTrials        int                `json:"layout_trials"`
+	RoutingTrials       int                `json:"routing_trials"`
+	ConvergencePatience int                `json:"convergence_patience"`
+	Seed                int64              `json:"seed"`
+	Parallelism         int                `json:"parallelism"`
+	GOMAXPROCS          int                `json:"gomaxprocs"`
+	TotalWallMS         float64            `json:"total_wall_ms"`
+	Cache               *RoutingCacheStats `json:"cache,omitempty"`
+	Rows                []RoutingRow       `json:"rows"`
+}
+
+// WriteFile renders the document as indented JSON at path.
+func (f *RoutingBenchFile) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRoutingBenchFile parses a BENCH_routing.json document.
+func ReadRoutingBenchFile(path string) (*RoutingBenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f RoutingBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}

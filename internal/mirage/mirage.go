@@ -81,10 +81,17 @@ func (p *Policy) Decide(ctx *sabre.MirrorContext) bool {
 	dc, _ := p.Cache.CostOf(p.Coverage, coord, false)
 	dm, _ := p.Cache.CostOf(p.Coverage, mirror, false)
 
-	hCur := ctx.RoutingCost(ctx.Layout)
-	trial := ctx.Layout.Copy()
-	trial.SwapPhysical(ctx.PhysA, ctx.PhysB)
-	hTrial := ctx.RoutingCost(trial)
+	var hCur, hTrial float64
+	if ctx.RoutingCostSwap != nil {
+		// Engine fast path: both evaluation points in one pass over the
+		// shared routing state, no layout copy per decision.
+		hCur, hTrial = ctx.RoutingCostSwap()
+	} else {
+		hCur = ctx.RoutingCost(ctx.Layout)
+		trial := ctx.Layout.Copy()
+		trial.SwapPhysical(ctx.PhysA, ctx.PhysB)
+		hTrial = ctx.RoutingCost(trial)
+	}
 
 	costCurrent := dc + p.SwapEquivalentCost*hCur
 	costTrial := dm + p.SwapEquivalentCost*hTrial

@@ -213,3 +213,76 @@ func TestEndToEndMiragePreservesUnitary(t *testing.T) {
 		}
 	}
 }
+
+// TestDecideFastPathMatchesSlowPath: when the router supplies the
+// engine's two-point evaluator (RoutingCostSwap), Decide must reach
+// exactly the decisions the layout-copying RoutingCost path reaches —
+// across aggression levels and a spread of routing-cost gaps.
+func TestDecideFastPathMatchesSlowPath(t *testing.T) {
+	cov := siswap()
+	topo := topology.Line(4)
+	layout := topology.TrivialLayout(4, 4)
+	op := circuit.Op{Gate: gates.CX(), Qubits: []int{1, 2}}
+
+	// A synthetic heuristic that depends on where logical qubit 1
+	// lands, so the hypothetical swap genuinely moves the cost.
+	slowCost := func(l *topology.Layout) float64 {
+		return float64(3 * l.Phys(1))
+	}
+	for _, level := range []Aggression{AggressionLower, AggressionEqual} {
+		p := NewPolicy(cov, nil, level)
+		slow := ctxFor(op, topo, layout, slowCost)
+		slowDecision := p.Decide(slow)
+
+		fast := ctxFor(op, topo, layout, slowCost)
+		fast.RoutingCostSwap = func() (float64, float64) {
+			cur := slowCost(layout)
+			trial := layout.Copy()
+			trial.SwapPhysical(fast.PhysA, fast.PhysB)
+			return cur, slowCost(trial)
+		}
+		if got := p.Decide(fast); got != slowDecision {
+			t.Fatalf("aggression %d: fast path decided %v, slow path %v", level, got, slowDecision)
+		}
+	}
+}
+
+// TestEndToEndPolicyDecisionsMatchReferenceRouter routes a random
+// circuit with the real polytope policy under both the incremental
+// engine (fast path active) and the reference formulation (slow path
+// only): identical outputs prove the production policy consumes both
+// MirrorContext variants equivalently.
+func TestEndToEndPolicyDecisionsMatchReferenceRouter(t *testing.T) {
+	cov := siswap()
+	rng := rand.New(rand.NewSource(88))
+	topo := topology.Grid(3, 3)
+	c := circuit.New("fastslow", 9)
+	for g := 0; g < 30; g++ {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a == b {
+			continue
+		}
+		c.Add(gates.CX(), a, b)
+	}
+	blocks := circuit.ConsolidateBlocks(c)
+	layout := topology.TrivialLayout(9, 9)
+	for _, level := range []Aggression{AggressionLower, AggressionEqual} {
+		engine, err := sabre.Route(blocks, topo, layout, sabre.Options{},
+			rand.New(rand.NewSource(6)), NewPolicy(cov, nil, level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := sabre.RouteReference(blocks, topo, layout, sabre.Options{},
+			rand.New(rand.NewSource(6)), NewPolicy(cov, nil, level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if engine.MirrorsUsed != reference.MirrorsUsed ||
+			engine.SwapsInserted != reference.SwapsInserted ||
+			len(engine.Routed.Ops) != len(reference.Routed.Ops) {
+			t.Fatalf("aggression %d: engine (mirrors=%d swaps=%d ops=%d) != reference (mirrors=%d swaps=%d ops=%d)",
+				level, engine.MirrorsUsed, engine.SwapsInserted, len(engine.Routed.Ops),
+				reference.MirrorsUsed, reference.SwapsInserted, len(reference.Routed.Ops))
+		}
+	}
+}

@@ -2,7 +2,12 @@ package polytope
 
 import (
 	"container/list"
+	"encoding/gob"
+	"fmt"
+	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/weyl"
@@ -17,6 +22,15 @@ import (
 // than one global mutex.
 type CostCache struct {
 	shards []*cacheShard
+
+	// Cache keys are quantised coordinates only — the coverage set is
+	// not part of the key — so entries from different bases must never
+	// mix. The basis of the first fill is recorded here to guard
+	// persistence (Save refuses mixed caches, Load rejects snapshots
+	// from a different basis).
+	basisMu    sync.Mutex
+	basis      string
+	basisMixed bool
 }
 
 type cacheShard struct {
@@ -73,14 +87,17 @@ func NewCostCache(capacity int) *CostCache {
 	return cc
 }
 
-// quantise keys coordinates at ~1e-6 rad resolution: far finer than
-// any polytope feature, coarse enough to absorb floating-point noise.
+// quantiseScale keys coordinates at ~1e-6 rad resolution: far finer
+// than any polytope feature, coarse enough to absorb floating-point
+// noise. Persisted snapshots record it so a future scale change cannot
+// silently mix incompatible keys.
+const quantiseScale = 1e6
+
 func quantise(c weyl.Coordinate, mirror bool) cacheKey {
-	const scale = 1e6
 	return cacheKey{
-		x:      int64(math.Round(c.X * scale)),
-		y:      int64(math.Round(c.Y * scale)),
-		z:      int64(math.Round(c.Z * scale)),
+		x:      int64(math.Round(c.X * quantiseScale)),
+		y:      int64(math.Round(c.Y * quantiseScale)),
+		z:      int64(math.Round(c.Z * quantiseScale)),
 		mirror: mirror,
 	}
 }
@@ -127,6 +144,7 @@ func (cc *CostCache) CostOf(cs *CoverageSet, c weyl.Coordinate, mirror bool) (co
 	if !ok {
 		r = cs.Regions[len(cs.Regions)-1]
 	}
+	cc.noteBasis(cs.Name)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -145,6 +163,18 @@ func (cc *CostCache) CostOf(cs *CoverageSet, c weyl.Coordinate, mirror bool) (co
 	return r.Cost, r.K
 }
 
+// noteBasis records which coverage set fills the cache; mixing bases
+// marks the cache unsafe to persist.
+func (cc *CostCache) noteBasis(name string) {
+	cc.basisMu.Lock()
+	if cc.basis == "" {
+		cc.basis = name
+	} else if cc.basis != name {
+		cc.basisMixed = true
+	}
+	cc.basisMu.Unlock()
+}
+
 // Stats returns the cumulative hit and miss counts.
 func (cc *CostCache) Stats() (hits, misses int64) {
 	for _, s := range cc.shards {
@@ -156,6 +186,15 @@ func (cc *CostCache) Stats() (hits, misses int64) {
 	return hits, misses
 }
 
+// HitRate returns hits / (hits + misses), or 0 before any query.
+func (cc *CostCache) HitRate() float64 {
+	hits, misses := cc.Stats()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
 // Len returns the number of cached entries.
 func (cc *CostCache) Len() int {
 	n := 0
@@ -165,4 +204,137 @@ func (cc *CostCache) Len() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// --- Persistence (ROADMAP: cost-cache persistence) ---
+
+// snapshotVersion guards the on-disk format; bump on any change to
+// savedEntry or the quantisation scale.
+const snapshotVersion = 1
+
+// savedEntry is one persisted cache line: the quantised coordinate key
+// and its decomposition cost. Exported fields for gob.
+type savedEntry struct {
+	X, Y, Z int64
+	Mirror  bool
+	Cost    float64
+	K       int
+}
+
+type snapshot struct {
+	Version int
+	Scale   float64 // quantisation scale the keys were produced with
+	Basis   string  // CoverageSet.Name the entries were computed under
+	Entries []savedEntry
+}
+
+// Save serialises the cache contents (least-recently-used first, so a
+// later Load replays them into the same recency order). Concurrent
+// CostOf calls during Save see consistent per-shard snapshots. A cache
+// that has been filled from more than one coverage set is refused:
+// keys carry no basis identity, so a mixed snapshot could silently
+// serve another basis's costs when reloaded.
+func (cc *CostCache) Save(w io.Writer) error {
+	cc.basisMu.Lock()
+	basis, mixed := cc.basis, cc.basisMixed
+	cc.basisMu.Unlock()
+	if mixed {
+		return fmt.Errorf("polytope: refusing to persist a cost cache filled from multiple coverage sets")
+	}
+	snap := snapshot{Version: snapshotVersion, Scale: quantiseScale, Basis: basis}
+	for _, s := range cc.shards {
+		s.mu.Lock()
+		for el := s.ll.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			snap.Entries = append(snap.Entries, savedEntry{
+				X: e.key.x, Y: e.key.y, Z: e.key.z, Mirror: e.key.mirror,
+				Cost: e.cost, K: e.k,
+			})
+		}
+		s.mu.Unlock()
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load merges a snapshot produced by Save into the cache, returning
+// the number of entries inserted. Existing entries win (they are
+// fresher than the snapshot); capacity eviction applies as usual, so
+// loading a snapshot larger than the cache keeps its most recent tail.
+func (cc *CostCache) Load(r io.Reader) (int, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("polytope: decoding cost-cache snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("polytope: cost-cache snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.Scale != quantiseScale {
+		return 0, fmt.Errorf("polytope: cost-cache snapshot quantised at scale %g, want %g", snap.Scale, quantiseScale)
+	}
+	cc.basisMu.Lock()
+	switch {
+	case cc.basisMixed:
+		cc.basisMu.Unlock()
+		return 0, fmt.Errorf("polytope: refusing to load into a cost cache filled from multiple coverage sets")
+	case cc.basis != "" && snap.Basis != "" && cc.basis != snap.Basis:
+		cc.basisMu.Unlock()
+		return 0, fmt.Errorf("polytope: cost-cache snapshot was computed under basis %q, cache holds %q", snap.Basis, cc.basis)
+	case cc.basis == "":
+		cc.basis = snap.Basis
+	}
+	cc.basisMu.Unlock()
+	n := 0
+	for _, e := range snap.Entries {
+		key := cacheKey{x: e.X, y: e.Y, z: e.Z, mirror: e.Mirror}
+		s := cc.shardFor(key)
+		s.mu.Lock()
+		if _, ok := s.items[key]; ok {
+			s.mu.Unlock()
+			continue
+		}
+		el := s.ll.PushFront(&cacheEntry{key: key, cost: e.Cost, k: e.K})
+		s.items[key] = el
+		if s.ll.Len() > s.capacity {
+			last := s.ll.Back()
+			s.ll.Remove(last)
+			delete(s.items, last.Value.(*cacheEntry).key)
+		} else {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n, nil
+}
+
+// SaveFile writes the cache snapshot to path atomically (temp file +
+// rename), so a crashed run never leaves a truncated snapshot behind.
+func (cc *CostCache) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".costcache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := cc.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile merges a snapshot from path, returning the number of
+// entries inserted. A missing file is not an error: it returns (0,
+// nil) so cold starts and warm starts share one call site.
+func (cc *CostCache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return cc.Load(f)
 }

@@ -1,7 +1,9 @@
 package polytope
 
 import (
+	"bytes"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -82,5 +84,159 @@ func TestCostCacheTinyCapacityConcurrent(t *testing.T) {
 	wg.Wait()
 	if cc.Len() > 2 {
 		t.Fatalf("tiny cache exceeded capacity: %d entries", cc.Len())
+	}
+}
+
+// TestCostCacheSaveLoadRoundtrip: a warmed cache saved and loaded into
+// a fresh one must answer every query from the table — zero misses —
+// with the same costs.
+func TestCostCacheSaveLoadRoundtrip(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	rng := rand.New(rand.NewSource(11))
+	warm := NewCostCache(0)
+	coords := make([]weyl.Coordinate, 120)
+	for i := range coords {
+		coords[i] = weyl.HaarSample(rng)
+		warm.CostOf(cs, coords[i], i%2 == 0)
+	}
+
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCostCache(0)
+	n, err := cold.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != warm.Len() {
+		t.Fatalf("loaded %d entries, warm cache holds %d", n, warm.Len())
+	}
+	for i, c := range coords {
+		wantCost, wantK := warm.CostOf(cs, c, i%2 == 0)
+		gotCost, gotK := cold.CostOf(cs, c, i%2 == 0)
+		if gotCost != wantCost || gotK != wantK {
+			t.Fatalf("coord %d: loaded cache answered (%g, %d), want (%g, %d)",
+				i, gotCost, gotK, wantCost, wantK)
+		}
+	}
+	hits, misses := cold.Stats()
+	if misses != 0 {
+		t.Fatalf("loaded cache missed %d of %d queries (hits=%d)", misses, len(coords), hits)
+	}
+}
+
+// TestCostCacheSaveLoadFile exercises the atomic file helpers,
+// including the missing-file cold-start path.
+func TestCostCacheSaveLoadFile(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	rng := rand.New(rand.NewSource(12))
+	warm := NewCostCache(0)
+	for i := 0; i < 40; i++ {
+		warm.CostOf(cs, weyl.HaarSample(rng), false)
+	}
+	path := filepath.Join(t.TempDir(), "costs.cache")
+
+	cold := NewCostCache(0)
+	if n, err := cold.LoadFile(path); err != nil || n != 0 {
+		t.Fatalf("missing file: got (%d, %v), want (0, nil)", n, err)
+	}
+	if err := warm.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cold.LoadFile(path); err != nil || n != warm.Len() {
+		t.Fatalf("LoadFile: got (%d, %v), want (%d, nil)", n, err, warm.Len())
+	}
+}
+
+// TestCostCacheLoadRespectsCapacity: loading a big snapshot into a
+// tiny cache must not blow its capacity bound.
+func TestCostCacheLoadRespectsCapacity(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	rng := rand.New(rand.NewSource(13))
+	warm := NewCostCache(0)
+	for i := 0; i < 200; i++ {
+		warm.CostOf(cs, weyl.HaarSample(rng), false)
+	}
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tiny := NewCostCache(8)
+	if _, err := tiny.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Len() > 8 {
+		t.Fatalf("tiny cache holds %d entries after load, capacity 8", tiny.Len())
+	}
+}
+
+// TestCostCacheLoadKeepsFresherEntries: entries already in the cache
+// win over snapshot entries for the same key.
+func TestCostCacheLoadKeepsFresherEntries(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	c := weyl.Coordinate{X: 0.3, Y: 0.2, Z: 0.1}
+	warm := NewCostCache(0)
+	warm.CostOf(cs, c, false)
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCostCache(0)
+	wantCost, wantK := dst.CostOf(cs, c, false)
+	if n, err := dst.Load(&buf); err != nil || n != 0 {
+		t.Fatalf("Load over an existing entry: got (%d, %v), want (0, nil)", n, err)
+	}
+	gotCost, gotK := dst.CostOf(cs, c, false)
+	if gotCost != wantCost || gotK != wantK {
+		t.Fatalf("existing entry clobbered: (%g, %d) != (%g, %d)", gotCost, gotK, wantCost, wantK)
+	}
+}
+
+// TestCostCacheLoadRejectsGarbage: corrupt and version-skewed
+// snapshots must fail loudly, not poison the cache.
+func TestCostCacheLoadRejectsGarbage(t *testing.T) {
+	cc := NewCostCache(0)
+	if _, err := cc.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage snapshot loaded without error")
+	}
+}
+
+// TestCostCacheSnapshotBasisGuard: snapshot keys carry no basis
+// identity, so persistence must refuse to mix coverage sets — saving a
+// mixed cache fails, and loading a snapshot into a cache warmed under
+// a different basis fails.
+func TestCostCacheSnapshotBasisGuard(t *testing.T) {
+	iswap := NewISwapRootCoverage(2)
+	cnot := NewCNOTCoverage()
+	rng := rand.New(rand.NewSource(14))
+
+	warm := NewCostCache(0)
+	for i := 0; i < 10; i++ {
+		warm.CostOf(iswap, weyl.HaarSample(rng), false)
+	}
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other := NewCostCache(0)
+	other.CostOf(cnot, weyl.HaarSample(rng), false)
+	if _, err := other.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loaded an iswap snapshot into a cnot-warmed cache")
+	}
+
+	mixed := NewCostCache(0)
+	mixed.CostOf(iswap, weyl.HaarSample(rng), false)
+	mixed.CostOf(cnot, weyl.HaarSample(rng), false)
+	if err := mixed.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("persisted a cache filled from two coverage sets")
+	}
+
+	// Same basis still round-trips.
+	same := NewCostCache(0)
+	same.CostOf(iswap, weyl.HaarSample(rng), false)
+	if _, err := same.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("same-basis load failed: %v", err)
 	}
 }

@@ -1,0 +1,114 @@
+package pool
+
+import "sync"
+
+// Stream is the adaptive counterpart of ForEach: it dispatches indices
+// 0, 1, 2, ... to up to `parallelism` concurrent run calls, but hands
+// every result to `consume` serially and in strict index order, and
+// stops dispatching as soon as consume returns true. This is what an
+// adaptive trial scheduler needs to stay deterministic: the stop rule
+// sees results in trial-index order — never in wall-clock arrival
+// order — so the set of consumed indices is a prefix [0, T) that
+// depends only on the run results, not on worker count or scheduling.
+//
+// Contract:
+//
+//   - run(i) may execute concurrently with other run calls and must
+//     not depend on consume having seen earlier indices.
+//   - consume(i, v) is called from the Stream goroutine only, with i
+//     strictly increasing from 0 with no gaps. Returning true stops
+//     the stream: no further index is dispatched or consumed.
+//   - If run(i) fails, the error for the lowest failing consumed index
+//     is returned and nothing at a higher index is consumed — exactly
+//     the serial loop's behaviour.
+//   - In-flight run calls past the stop index are allowed to finish
+//     (their results are discarded), and Stream returns only after
+//     every started run call has completed.
+//
+// With parallelism <= 1 the stream degenerates to the plain serial
+// loop: run(0), consume(0), run(1), consume(1), ...
+func Stream[T any](parallelism, max int, run func(i int) (T, error), consume func(i int, v T) (stop bool)) error {
+	if max <= 0 {
+		return nil
+	}
+	parallelism = Size(parallelism)
+	if parallelism > max {
+		parallelism = max
+	}
+	if parallelism == 1 {
+		for i := 0; i < max; i++ {
+			v, err := run(i)
+			if err != nil {
+				return err
+			}
+			if consume(i, v) {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	type item struct {
+		i   int
+		v   T
+		err error
+	}
+	next := make(chan int)
+	// Each worker holds at most one unsent result, so a buffer of
+	// `parallelism` guarantees workers never block on a stream that
+	// has stopped receiving.
+	results := make(chan item, parallelism)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := run(i)
+				results <- item{i: i, v: v, err: err}
+			}
+		}()
+	}
+
+	var (
+		dispatched, consumed int
+		stopped              bool
+		firstErr             error
+		pending              = make(map[int]item, parallelism)
+	)
+	for {
+		// Drain everything consumable in index order first.
+		if it, ok := pending[consumed]; ok {
+			delete(pending, consumed)
+			if !stopped {
+				if it.err != nil {
+					firstErr = it.err
+					stopped = true
+				} else if consume(it.i, it.v) {
+					stopped = true
+				}
+			}
+			consumed++
+			continue
+		}
+		if !stopped && dispatched < max {
+			// Interleave dispatching with receiving so neither side
+			// blocks the other.
+			select {
+			case next <- dispatched:
+				dispatched++
+			case it := <-results:
+				pending[it.i] = it
+			}
+			continue
+		}
+		if consumed == dispatched {
+			break
+		}
+		it := <-results
+		pending[it.i] = it
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,168 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// streamTrace runs a Stream over n indices with the given stop rule
+// and returns the in-order consumed values.
+func streamTrace(parallelism, n int, stopAfter func(i int, v int) bool) ([]int, error) {
+	var got []int
+	err := Stream(parallelism, n, func(i int) (int, error) {
+		// Scramble completion order so out-of-order delivery is real.
+		time.Sleep(time.Duration((i*7919)%5) * time.Millisecond)
+		return i * i, nil
+	}, func(i, v int) bool {
+		got = append(got, v)
+		return stopAfter(i, v)
+	})
+	return got, err
+}
+
+func TestStreamConsumesInIndexOrder(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		got, err := streamTrace(par, 20, func(int, int) bool { return false })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 20 {
+			t.Fatalf("parallelism=%d consumed %d of 20", par, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallelism=%d: index %d consumed out of order (got %d)", par, i, v)
+			}
+		}
+	}
+}
+
+// TestStreamStopPrefixDeterministic is the scheduler contract: the
+// consumed set is the same prefix [0, T) at any worker count, because
+// the stop rule sees results in index order, not arrival order.
+func TestStreamStopPrefixDeterministic(t *testing.T) {
+	stop := func(i, _ int) bool { return i >= 7 }
+	var ref []int
+	for _, par := range []int{1, 3, 16} {
+		got, err := streamTrace(par, 100, stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			if len(ref) != 8 {
+				t.Fatalf("serial stream consumed %d trials, want 8", len(ref))
+			}
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("parallelism=%d consumed %v, serial consumed %v", par, got, ref)
+		}
+	}
+}
+
+// TestStreamErrorMatchesSerial: the reported error is the one the
+// serial loop would have hit (lowest index), and nothing beyond it is
+// consumed.
+func TestStreamErrorMatchesSerial(t *testing.T) {
+	boom := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		var consumed []int
+		err := Stream(par, 50, func(i int) (int, error) {
+			if i == 11 || i == 30 {
+				return 0, fmt.Errorf("%w at %d", boom, i)
+			}
+			return i, nil
+		}, func(i, v int) bool {
+			consumed = append(consumed, i)
+			return false
+		})
+		if err == nil || err.Error() != "boom at 11" {
+			t.Fatalf("parallelism=%d: got error %v, want boom at 11", par, err)
+		}
+		if len(consumed) != 11 {
+			t.Fatalf("parallelism=%d: consumed %d indices before the error, want 11", par, len(consumed))
+		}
+	}
+}
+
+// TestStreamStopBeforeErrorSuppressesIt: an error at an index past the
+// stop point must not surface — the serial loop would never have run
+// that trial.
+func TestStreamStopBeforeErrorSuppressesIt(t *testing.T) {
+	for _, par := range []int{1, 6} {
+		err := Stream(par, 50, func(i int) (int, error) {
+			if i >= 40 {
+				return 0, errors.New("late failure")
+			}
+			return i, nil
+		}, func(i, v int) bool {
+			return i >= 3
+		})
+		if err != nil {
+			t.Fatalf("parallelism=%d: stop at 3 should suppress error at 40, got %v", par, err)
+		}
+	}
+}
+
+// TestStreamAllStartedRunsFinish: Stream must not return while run
+// calls are still in flight (the routing scheduler relies on this for
+// happens-before on shared caches).
+func TestStreamAllStartedRunsFinish(t *testing.T) {
+	var started, finished atomic.Int64
+	err := Stream(8, 200, func(i int) (int, error) {
+		started.Add(1)
+		time.Sleep(time.Millisecond)
+		finished.Add(1)
+		return i, nil
+	}, func(i, v int) bool {
+		return i >= 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Fatalf("Stream returned with %d of %d runs still in flight", s-f, s)
+	}
+}
+
+// TestStreamRandomStopRules fuzzes stop thresholds across worker
+// counts against the serial reference.
+func TestStreamRandomStopRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(60)
+		thresh := rng.Intn(n + 5)
+		stop := func(i, _ int) bool { return i >= thresh }
+		ref, err := streamTrace(1, n, stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := streamTrace(1+rng.Intn(8), n, stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("n=%d thresh=%d: parallel %v != serial %v", n, thresh, got, ref)
+		}
+	}
+}
+
+func TestStreamZeroAndNegativeMax(t *testing.T) {
+	calls := 0
+	if err := Stream(4, 0, func(i int) (int, error) { calls++; return 0, nil },
+		func(int, int) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Stream(4, -3, func(i int) (int, error) { calls++; return 0, nil },
+		func(int, int) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("run called %d times for empty streams", calls)
+	}
+}

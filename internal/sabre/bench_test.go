@@ -52,3 +52,40 @@ func BenchmarkFindBestRouting(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRouteWide measures a single Route call on a wide topology —
+// the regime the incremental engine targets: a large grid keeps many
+// gates in the front layer, so the naive formulation pays
+// O(candidates x (|front| + |E|)) distance lookups per inserted SWAP
+// while the engine pays O(candidates x deg). The acceptance bar for
+// the engine is >= 2x over the reference here.
+func BenchmarkRouteWide(b *testing.B) {
+	topo := topology.Grid(8, 8)
+	c := benchCircuit(64, 400)
+	layout := RandomLayout(64, topo, rand.New(rand.NewSource(7)))
+	run := func(b *testing.B, route func() (*Result, error)) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := route()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.SwapsInserted), "swaps")
+		}
+	}
+	b.Run("reference", func(b *testing.B) {
+		run(b, func() (*Result, error) {
+			return RouteReference(c, topo, layout, Options{}, rand.New(rand.NewSource(1)), nil)
+		})
+	})
+	b.Run("engine", func(b *testing.B) {
+		run(b, func() (*Result, error) {
+			return Route(c, topo, layout, Options{}, rand.New(rand.NewSource(1)), nil)
+		})
+	})
+	b.Run("engine_sharded", func(b *testing.B) {
+		run(b, func() (*Result, error) {
+			return Route(c, topo, layout, Options{ScoreWorkers: 4}, rand.New(rand.NewSource(1)), nil)
+		})
+	})
+}

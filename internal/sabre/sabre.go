@@ -4,6 +4,14 @@
 // decay-based parallelism promotion, and iterative forward-backward
 // layout refinement with independent trials.
 //
+// Route runs on an incrementally-maintained engine (routingState):
+// the front layer, lookahead window, per-qubit pair indices and
+// distance sums persist across stalls, and each SWAP candidate is
+// scored by delta — only gates touching the swapped qubits are
+// revisited. The naive rebuild-everything formulation is kept as
+// RouteReference, the executable specification the engine is
+// property-tested against.
+//
 // The router exposes a MirrorPolicy hook: every two-qubit gate that
 // becomes executable is offered to the policy, which may replace it
 // with its mirror (gate followed by a virtual SWAP). The baseline uses
@@ -13,7 +21,6 @@ package sabre
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/gates"
@@ -29,6 +36,12 @@ type Options struct {
 	DecayRate          float64 // decay increment (default 0.001)
 	DecayResetInterval int     // reset decay every N swap selections (default 5)
 	MaxSteps           int     // safety bound on swap insertions (default 10000 + 100*ops)
+	// ScoreWorkers bounds the worker count used to shard SWAP-candidate
+	// scoring inside a single Route call (0 or 1 = serial). Scoring is
+	// pure and the selection pass stays serial and index-ordered, so
+	// results are bit-identical at any setting; the fan-out only pays
+	// off on wide topologies with large front layers.
+	ScoreWorkers int
 }
 
 // WithDefaults fills unset fields with the paper's values.
@@ -49,6 +62,8 @@ func (o Options) WithDefaults() Options {
 }
 
 // MirrorContext is what a MirrorPolicy sees for an executable 2Q gate.
+// The cost evaluators are views into the router's live state and are
+// only valid for the duration of the Decide call.
 type MirrorContext struct {
 	Op           circuit.Op       // the logical gate (Coord annotated when available)
 	PhysA, PhysB int              // current physical locations of its qubits
@@ -62,6 +77,12 @@ type MirrorContext struct {
 	// pending; this is what makes routing benefit commensurable with
 	// the decomposition-cost delta in the mirror decision.
 	RoutingCost func(*topology.Layout) float64
+	// RoutingCostSwap, when non-nil, returns RoutingCost at the current
+	// layout and at the layout after swapping (PhysA, PhysB), computed
+	// by the engine without copying the layout. It is the fast path for
+	// the mirror decision's only two evaluation points and agrees with
+	// RoutingCost bit-for-bit.
+	RoutingCostSwap func() (current, swapped float64)
 }
 
 // MirrorPolicy decides whether to substitute the mirror gate
@@ -78,6 +99,12 @@ type Result struct {
 	SwapsInserted int
 	MirrorsUsed   int
 	TwoQubitGates int
+	// TrialsExecuted / TrialsBudgeted describe the trial schedule that
+	// produced this result (set by FindBestRouting: executed counts the
+	// trial indices the scheduler consumed, budgeted the full grid).
+	// Zero for direct Route calls.
+	TrialsExecuted int
+	TrialsBudgeted int
 }
 
 // Route maps the logical circuit onto the topology starting from the
@@ -100,110 +127,42 @@ func Route(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout
 		maxSteps = 10000 + 100*len(c.Ops)
 	}
 
-	layout := initial.Copy()
-	dag := circuit.BuildDAG(c)
-	tr := dag.NewTraversal()
+	st := newRoutingState(c, topo, initial, opts)
 	out := circuit.New(c.Name+"_routed", topo.NumQubits)
-	decay := make([]float64, topo.NumQubits)
-	resetDecay := func() {
-		for i := range decay {
-			decay[i] = 1.0
-		}
-	}
-	resetDecay()
-
 	res := &Result{InitialLayout: initial.Copy()}
 
-	// routingCost captures the current front and lookahead op sets and
-	// returns an evaluator for hypothetical layouts. When averaged is
-	// true it computes the canonical SABRE score (mean front distance
-	// plus weighted mean lookahead distance, used for SWAP selection);
-	// otherwise it returns absolute sums (used by the mirror policy,
-	// where the delta must be commensurable with decomposition costs).
-	routingCost := func(skip int, averaged bool) func(*topology.Layout) float64 {
-		var front [][2]int
-		for _, idx := range tr.Ready {
-			if idx == skip {
-				continue
-			}
-			op := c.Ops[idx]
-			if op.Is2Q() {
-				front = append(front, [2]int{op.Qubits[0], op.Qubits[1]})
-			}
-		}
-		if skip >= 0 {
-			// Mirror decision for op `skip`: its own direct successors
-			// are the gates most affected by permuting its outputs, so
-			// they join the front at full weight ("considering
-			// downstream operations", paper Section III-D).
-			for _, s := range dag.Succs[skip] {
-				op := c.Ops[s]
-				if op.Is2Q() {
-					front = append(front, [2]int{op.Qubits[0], op.Qubits[1]})
-				}
-			}
-		}
-		var ext [][2]int
-		for _, idx := range tr.Descendants(opts.ExtendedSetSize) {
-			op := c.Ops[idx]
-			if op.Is2Q() {
-				ext = append(ext, [2]int{op.Qubits[0], op.Qubits[1]})
-			}
-		}
-		return func(l *topology.Layout) float64 {
-			var h float64
-			if len(front) > 0 {
-				var s float64
-				for _, p := range front {
-					s += float64(topo.Distance(l.Phys(p[0]), l.Phys(p[1])))
-				}
-				if averaged {
-					s /= float64(len(front))
-				}
-				h += s
-			}
-			if len(ext) > 0 {
-				var s float64
-				for _, p := range ext {
-					s += float64(topo.Distance(l.Phys(p[0]), l.Phys(p[1])))
-				}
-				if averaged {
-					s /= float64(len(ext))
-				}
-				h += opts.ExtendedSetWeight * s
-			}
-			return h
-		}
-	}
-
 	steps := 0
-	for !tr.Done() {
+	for !st.tr.Done() {
 		// Execute everything currently executable.
 		progress := true
 		for progress {
 			progress = false
-			ready := append([]int(nil), tr.Ready...)
+			ready := append([]int(nil), st.tr.Ready...)
 			for _, idx := range ready {
 				op := c.Ops[idx]
 				switch len(op.Qubits) {
 				case 1:
 					out.Append(circuit.Op{
 						Gate:   op.Gate,
-						Qubits: []int{layout.Phys(op.Qubits[0])},
+						Qubits: []int{st.layout.Phys(op.Qubits[0])},
 					})
-					tr.Execute(idx)
+					st.execute(idx)
 					progress = true
 				case 2:
-					pa, pb := layout.Phys(op.Qubits[0]), layout.Phys(op.Qubits[1])
+					pa, pb := st.layout.Phys(op.Qubits[0]), st.layout.Phys(op.Qubits[1])
 					if !topo.HasEdge(pa, pb) {
 						continue
 					}
 					mirrored := false
 					if policy != nil {
+						st.prepareMirror(idx)
 						ctx := &MirrorContext{
 							Op: op, PhysA: pa, PhysB: pb,
-							Layout: layout, Topo: topo,
-							RoutingCost: routingCost(idx, false),
+							Layout: st.layout, Topo: topo,
+							RoutingCost: st.mirrorCostAt,
+							RoutingCostSwap: func() (float64, float64) {
+								return st.mirrorCostSwap(pa, pb)
+							},
 						}
 						mirrored = policy.Decide(ctx)
 					}
@@ -218,55 +177,32 @@ func Route(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout
 					out.Append(emit)
 					res.TwoQubitGates++
 					if mirrored {
-						layout.SwapPhysical(pa, pb)
+						st.applyMirrorSwap(pa, pb)
 					}
-					tr.Execute(idx)
-					resetDecay()
+					st.execute(idx)
+					st.resetDecay()
 					progress = true
 				}
 			}
 		}
-		if tr.Done() {
+		if st.tr.Done() {
 			break
 		}
 
-		// Stalled: pick the best SWAP.
-		type cand struct{ a, b int }
-		seen := map[cand]bool{}
-		var candidates []cand
-		for _, idx := range tr.Ready {
-			op := c.Ops[idx]
-			if !op.Is2Q() {
-				continue
-			}
-			for _, lq := range op.Qubits {
-				p := layout.Phys(lq)
-				for _, nb := range topo.Neighbors(p) {
-					k := cand{p, nb}
-					if k.a > k.b {
-						k.a, k.b = k.b, k.a
-					}
-					if !seen[k] {
-						seen[k] = true
-						candidates = append(candidates, k)
-					}
-				}
-			}
-		}
+		// Stalled: refresh the pair caches if gates executed since the
+		// last stall, then score every candidate by delta and select
+		// serially (identical comparisons and RNG consumption to the
+		// reference, so the chosen SWAP sequence is bit-identical).
+		st.refresh()
+		candidates := st.collectCandidates()
 		if len(candidates) == 0 {
 			return nil, fmt.Errorf("sabre: stalled with no swap candidates (disconnected topology?)")
 		}
-		cost := routingCost(-1, true)
+		scores := st.scoreCandidates(candidates, opts.ScoreWorkers)
 		bestScore := 0.0
 		bestIdx := -1
-		for i, sc := range candidates {
-			trial := layout.Copy()
-			trial.SwapPhysical(sc.a, sc.b)
-			d := decay[sc.a]
-			if decay[sc.b] > d {
-				d = decay[sc.b]
-			}
-			score := d * cost(trial)
+		for i := range candidates {
+			score := scores[i]
 			if bestIdx < 0 || score < bestScore-1e-12 ||
 				(score < bestScore+1e-12 && rng.Intn(2) == 0) {
 				bestScore, bestIdx = score, i
@@ -278,13 +214,13 @@ func Route(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout
 			Qubits:     []int{chosen.a, chosen.b},
 			RouterSwap: true,
 		})
-		layout.SwapPhysical(chosen.a, chosen.b)
+		st.applySwap(chosen.a, chosen.b)
 		res.SwapsInserted++
-		decay[chosen.a] += opts.DecayRate
-		decay[chosen.b] += opts.DecayRate
+		st.decay[chosen.a] += opts.DecayRate
+		st.decay[chosen.b] += opts.DecayRate
 		steps++
 		if steps%opts.DecayResetInterval == 0 {
-			resetDecay()
+			st.resetDecay()
 		}
 		if steps > maxSteps {
 			return nil, fmt.Errorf("sabre: exceeded %d swap insertions; routing diverged", maxSteps)
@@ -292,7 +228,7 @@ func Route(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout
 	}
 
 	res.Routed = out
-	res.FinalLayout = layout
+	res.FinalLayout = st.layout
 	return res, nil
 }
 
@@ -323,6 +259,14 @@ type LayoutOptions struct {
 	// randomness from its own deterministically seeded generator, so
 	// the result is bit-identical for a given Seed at any worker count.
 	Parallelism int
+	// ConvergencePatience, when positive, stops scheduling routing
+	// trials once this many consecutive trial *indices* fail to improve
+	// the best score. The stop rule consumes trial results in index
+	// order — never wall-clock arrival order — so the set of trials
+	// contributing to the answer is a prefix [0, T) that is identical
+	// at any Parallelism; in-flight trials past T are discarded. 0
+	// keeps the paper's fixed LayoutTrials x RoutingTrials grid.
+	ConvergencePatience int
 }
 
 // WithDefaults fills unset fields with the paper's configuration.
@@ -350,16 +294,19 @@ type PolicyFactory func(trial int) MirrorPolicy
 
 // FindBestRouting runs the full SABRE flow: for each layout trial, a
 // random initial layout is refined by forward/backward routing passes,
-// then the circuit is routed RoutingTrials times independently; the
-// best result under the metric is returned.
+// then the circuit is routed up to LayoutTrials x RoutingTrials times
+// independently; the best result under the metric is returned.
 //
-// Trials are dispatched to a bounded worker pool
-// (LayoutOptions.Parallelism workers) in two waves — layout refinement
-// first, then the flat LayoutTrials x RoutingTrials routing grid. Each
-// trial owns a generator seeded from (Seed, trial index) alone and
-// ties between equal-scoring trials break toward the lowest trial
-// index, so the chosen result is independent of worker count and
-// scheduling order.
+// Layout refinement fans out over a bounded worker pool
+// (LayoutOptions.Parallelism workers). The routing grid then runs on a
+// streaming scheduler: workers pull trial indices, an online argmin
+// consumes scores in trial-index order, and — with ConvergencePatience
+// set — scheduling stops after the configured run of non-improving
+// indices. Each trial owns a generator seeded from (Seed, trial kind,
+// trial index) through a splitmix64 mixer, and ties between
+// equal-scoring trials break toward the lowest trial index, so the
+// chosen result is bit-identical at any worker count: it is exactly
+// the trial a serial loop would have selected.
 func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOptions,
 	metric Metric, factory PolicyFactory) (*Result, error) {
 
@@ -382,7 +329,7 @@ func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOpt
 	// the new initial layout.
 	layouts := make([]*topology.Layout, opts.LayoutTrials)
 	err := pool.ForEach(workers, opts.LayoutTrials, func(lt int) error {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(1000*lt)))
+		rng := rand.New(rand.NewSource(trialSeed(opts.Seed, seedStreamLayout, lt)))
 		layout := RandomLayout(c.NumQubits, topo, rng)
 		for pass := 0; pass < opts.FwdBwdPasses; pass++ {
 			fwd, err := Route(c, topo, layout, opts.Routing, rng, nil)
@@ -402,44 +349,53 @@ func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOpt
 		return nil, err
 	}
 
-	// Wave 2: the routing grid. Trial t = lt*RoutingTrials + rt routes
-	// from layouts[lt]; scoring happens inside the worker so that
-	// expensive metrics (polytope-weighted depth) parallelise too. The
-	// argmin is kept online under a mutex — only the current best
-	// Result stays resident, not all LayoutTrials x RoutingTrials of
-	// them — and the lexicographic (score, trial index) order makes
-	// the winner independent of goroutine scheduling: it is exactly
-	// the first trial the serial loop would have seen reach the
-	// minimum score.
+	// Wave 2: the routing grid as a stream. Trial t = lt*RoutingTrials
+	// + rt routes from layouts[lt]; scoring happens inside the worker
+	// so that expensive metrics (polytope-weighted depth) parallelise
+	// too. pool.Stream consumes (result, score) pairs in strict trial-
+	// index order, so the online argmin and the convergence stop rule
+	// see exactly the sequence a serial loop would: the winner — and,
+	// in adaptive mode, the number of trials consumed — is independent
+	// of goroutine scheduling. Only the current best Result stays
+	// resident, not the whole grid.
+	type trialOut struct {
+		res   *Result
+		score float64
+	}
 	n := opts.LayoutTrials * opts.RoutingTrials
 	var (
-		mu        sync.Mutex
 		best      *Result
 		bestScore float64
-		bestTrial int
+		executed  int
+		noImprove int
 	)
-	err = pool.ForEach(workers, n, func(t int) error {
-		lt, rt := t/opts.RoutingTrials, t%opts.RoutingTrials
+	err = pool.Stream(workers, n, func(t int) (trialOut, error) {
+		lt := t / opts.RoutingTrials
 		var policy MirrorPolicy
 		if factory != nil {
 			policy = factory(t)
 		}
-		rrng := rand.New(rand.NewSource(opts.Seed + int64(1000*lt+rt) + 500000))
+		rrng := rand.New(rand.NewSource(trialSeed(opts.Seed, seedStreamRouting, t)))
 		res, err := Route(c, topo, layouts[lt], opts.Routing, rrng, policy)
 		if err != nil {
-			return err
+			return trialOut{}, err
 		}
-		score := metric(res)
-		mu.Lock()
-		if best == nil || score < bestScore || (score == bestScore && t < bestTrial) {
-			best, bestScore, bestTrial = res, score, t
+		return trialOut{res: res, score: metric(res)}, nil
+	}, func(t int, v trialOut) bool {
+		executed++
+		if best == nil || v.score < bestScore {
+			best, bestScore = v.res, v.score
+			noImprove = 0
+			return false
 		}
-		mu.Unlock()
-		return nil
+		noImprove++
+		return opts.ConvergencePatience > 0 && noImprove >= opts.ConvergencePatience
 	})
 	if err != nil {
 		return nil, err
 	}
+	best.TrialsExecuted = executed
+	best.TrialsBudgeted = n
 	return best, nil
 }
 

@@ -1,0 +1,51 @@
+package sabre
+
+import "testing"
+
+// TestTrialSeedsNoCollisions guards the splitmix64 derivation against
+// the failure mode of the old additive scheme, where layout seeds
+// (Seed + 1000*lt) collided with routing seeds (Seed + 1000*lt + rt +
+// 500000) once 1000*lt crossed the offset: all layout and routing
+// seeds for realistic trial counts must be pairwise distinct.
+func TestTrialSeedsNoCollisions(t *testing.T) {
+	for _, base := range []int64{1, 42, -7, 1 << 40} {
+		seen := make(map[int64]string, 8192)
+		check := func(kind string, stream uint64, n int) {
+			for i := 0; i < n; i++ {
+				s := trialSeed(base, stream, i)
+				if prev, ok := seen[s]; ok {
+					t.Fatalf("base %d: seed collision between %s[%d] and %s", base, kind, i, prev)
+				}
+				seen[s] = kind
+			}
+		}
+		check("layout", seedStreamLayout, 4000)
+		check("routing", seedStreamRouting, 4000)
+	}
+}
+
+// TestTrialSeedsDependOnBase: different base seeds must produce
+// different streams (a mixer that ignored its input would silently
+// make every run identical).
+func TestTrialSeedsDependOnBase(t *testing.T) {
+	same := 0
+	for i := 0; i < 100; i++ {
+		if trialSeed(1, seedStreamRouting, i) == trialSeed(2, seedStreamRouting, i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d of 100 trial seeds identical across base seeds", same)
+	}
+}
+
+// TestOldAdditiveSchemeCollided documents why the mixer exists: the
+// pre-refactor derivation really did collide at large trial counts.
+func TestOldAdditiveSchemeCollided(t *testing.T) {
+	const seed = 1
+	layout := func(lt int) int64 { return seed + int64(1000*lt) }
+	routing := func(lt, rt int) int64 { return seed + int64(1000*lt+rt) + 500000 }
+	if layout(501) != routing(1, 0) {
+		t.Fatal("expected the documented collision in the old scheme")
+	}
+}

@@ -1,0 +1,392 @@
+package sabre
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/pool"
+	"repro/internal/topology"
+)
+
+// This file is the incrementally-maintained routing engine. The naive
+// formulation (kept as RouteReference) rebuilds the front/lookahead
+// pair sets at every stall and walks all of them once per SWAP
+// candidate: O(candidates x (|front| + |E|)) distance lookups per
+// inserted SWAP. The engine observes that a swap of physical qubits
+// (a, b) only changes the distance of gates touching a or b, so it
+// keeps per-qubit indices into the cached pair sets and scores each
+// candidate by delta against cached sums: O(candidates x deg).
+//
+// Exactness: distances are small integers, and sums of small integers
+// are exact in float64 regardless of association order, so the
+// incrementally maintained sums equal the freshly recomputed ones
+// bit-for-bit — the engine's scores, tie-breaking RNG consumption, and
+// emitted circuits are identical to RouteReference's. The equivalence
+// property test enforces this.
+
+// swapCand is one candidate SWAP on a coupled physical pair (a < b).
+type swapCand struct{ a, b int }
+
+// pairSet caches one scoring set (the front layer or the extended
+// lookahead window): logical endpoint pairs, their current physical
+// distances, the distance sum, and a physical-qubit -> pair index so
+// swap deltas touch only affected pairs.
+type pairSet struct {
+	pairs   [][2]int // logical endpoints
+	dist    []int    // current distance per pair under the engine layout
+	sum     int64    // sum(dist); exact, so float64(sum) == naive float accumulation
+	byPhys  [][]int  // physical qubit -> indices into pairs
+	touched []int    // physical qubits with registered pairs (reset list)
+}
+
+func newPairSet(numPhys int) pairSet {
+	return pairSet{byPhys: make([][]int, numPhys)}
+}
+
+func (ps *pairSet) reset() {
+	ps.pairs = ps.pairs[:0]
+	ps.dist = ps.dist[:0]
+	ps.sum = 0
+	for _, q := range ps.touched {
+		ps.byPhys[q] = ps.byPhys[q][:0]
+	}
+	ps.touched = ps.touched[:0]
+}
+
+func (ps *pairSet) add(la, lb int, layout *topology.Layout, topo *topology.Topology) {
+	idx := len(ps.pairs)
+	pa, pb := layout.Phys(la), layout.Phys(lb)
+	d := topo.Distance(pa, pb)
+	ps.pairs = append(ps.pairs, [2]int{la, lb})
+	ps.dist = append(ps.dist, d)
+	ps.sum += int64(d)
+	for _, p := range [2]int{pa, pb} {
+		if len(ps.byPhys[p]) == 0 {
+			ps.touched = append(ps.touched, p)
+		}
+		ps.byPhys[p] = append(ps.byPhys[p], idx)
+	}
+}
+
+// applySwap updates cached distances after the engine layout has
+// already swapped physical qubits a and b. Recomputing is idempotent
+// (delta accumulates into dist before sum), so pairs touching both
+// qubits are safe to visit twice.
+func (ps *pairSet) applySwap(a, b int, layout *topology.Layout, topo *topology.Topology) {
+	for _, q := range [2]int{a, b} {
+		for _, idx := range ps.byPhys[q] {
+			p := ps.pairs[idx]
+			d := topo.Distance(layout.Phys(p[0]), layout.Phys(p[1]))
+			ps.sum += int64(d - ps.dist[idx])
+			ps.dist[idx] = d
+		}
+	}
+	// The pairs previously touching a now touch b and vice versa.
+	ps.byPhys[a], ps.byPhys[b] = ps.byPhys[b], ps.byPhys[a]
+	for _, q := range [2]int{a, b} {
+		if len(ps.byPhys[q]) > 0 {
+			ps.touched = append(ps.touched, q) // duplicates are fine: reset is idempotent
+		}
+	}
+}
+
+// swapDelta returns sum(dist after hypothetically swapping a, b) -
+// sum(dist): only pairs touching a or b contribute.
+func (ps *pairSet) swapDelta(a, b int, layout *topology.Layout, topo *topology.Topology) int64 {
+	var delta int64
+	for _, idx := range ps.byPhys[a] {
+		p := ps.pairs[idx]
+		pa, pb := layout.Phys(p[0]), layout.Phys(p[1])
+		delta += int64(topo.Distance(swapMap(pa, a, b), swapMap(pb, a, b)) - ps.dist[idx])
+	}
+	for _, idx := range ps.byPhys[b] {
+		p := ps.pairs[idx]
+		pa, pb := layout.Phys(p[0]), layout.Phys(p[1])
+		if pa == a || pb == a {
+			continue // already counted via byPhys[a]
+		}
+		delta += int64(topo.Distance(swapMap(pa, a, b), swapMap(pb, a, b)) - ps.dist[idx])
+	}
+	return delta
+}
+
+// swapMap is where physical qubit x lands after swapping a and b.
+func swapMap(x, a, b int) int {
+	switch x {
+	case a:
+		return b
+	case b:
+		return a
+	}
+	return x
+}
+
+// routingState is the engine: the DAG traversal, the live layout and
+// decay vector, and the incrementally maintained front/extended pair
+// caches. It is single-goroutine except scoreCandidates, which may
+// shard its (read-only) scoring loop across a worker pool.
+type routingState struct {
+	c    *circuit.Circuit
+	topo *topology.Topology
+	opts Options
+
+	dag    *circuit.DAG
+	tr     *circuit.Traversal
+	layout *topology.Layout
+	decay  []float64
+
+	front pairSet
+	ext   pairSet
+	dirty bool // pair caches stale (a gate executed or a mirror moved the layout)
+
+	// Scratch for mirror-decision cost views (valid only within one
+	// Decide call).
+	mirrorFront [][2]int
+	mirrorExt   [][2]int
+
+	// Scratch for candidate collection.
+	cands    []swapCand
+	candSeen map[swapCand]bool
+	scores   []float64
+}
+
+func newRoutingState(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout, opts Options) *routingState {
+	dag := circuit.BuildDAG(c)
+	st := &routingState{
+		c: c, topo: topo, opts: opts,
+		dag:      dag,
+		tr:       dag.NewTraversal(),
+		layout:   initial.Copy(),
+		decay:    make([]float64, topo.NumQubits),
+		front:    newPairSet(topo.NumQubits),
+		ext:      newPairSet(topo.NumQubits),
+		dirty:    true,
+		candSeen: make(map[swapCand]bool),
+	}
+	st.resetDecay()
+	return st
+}
+
+func (st *routingState) resetDecay() {
+	for i := range st.decay {
+		st.decay[i] = 1.0
+	}
+}
+
+// execute marks op idx done and invalidates the pair caches (the front
+// layer and lookahead window both change shape).
+func (st *routingState) execute(idx int) {
+	st.tr.Execute(idx)
+	st.dirty = true
+}
+
+// refresh rebuilds the front/extended pair caches from the traversal
+// when stale. Between consecutive stalls with no executed gates the
+// caches stay valid and only distance updates (applySwap) happen.
+func (st *routingState) refresh() {
+	if !st.dirty {
+		return
+	}
+	st.front.reset()
+	for _, idx := range st.tr.Ready {
+		op := st.c.Ops[idx]
+		if op.Is2Q() {
+			st.front.add(op.Qubits[0], op.Qubits[1], st.layout, st.topo)
+		}
+	}
+	st.ext.reset()
+	for _, idx := range st.tr.Descendants(st.opts.ExtendedSetSize) {
+		op := st.c.Ops[idx]
+		if op.Is2Q() {
+			st.ext.add(op.Qubits[0], op.Qubits[1], st.layout, st.topo)
+		}
+	}
+	st.dirty = false
+}
+
+// applySwap commits a router SWAP on physical qubits (a, b): the
+// layout changes and the cached distances of affected pairs are
+// updated in O(deg) instead of a full rebuild.
+func (st *routingState) applySwap(a, b int) {
+	st.layout.SwapPhysical(a, b)
+	if st.dirty {
+		return // caches are stale anyway; next refresh rebuilds
+	}
+	st.front.applySwap(a, b, st.layout, st.topo)
+	st.ext.applySwap(a, b, st.layout, st.topo)
+}
+
+// applyMirrorSwap commits the virtual SWAP of an accepted mirror gate.
+// Mirror decisions happen in the execute phase, where the caches are
+// already stale, so only the layout moves.
+func (st *routingState) applyMirrorSwap(a, b int) {
+	st.layout.SwapPhysical(a, b)
+	st.dirty = true
+}
+
+// collectCandidates enumerates the SWAP candidates of the current
+// stall in the same deterministic order as the naive formulation:
+// ready-op order, op-qubit order, sorted-neighbour order, first
+// occurrence kept.
+func (st *routingState) collectCandidates() []swapCand {
+	st.cands = st.cands[:0]
+	for k := range st.candSeen {
+		delete(st.candSeen, k)
+	}
+	for _, idx := range st.tr.Ready {
+		op := st.c.Ops[idx]
+		if !op.Is2Q() {
+			continue
+		}
+		for _, lq := range op.Qubits {
+			p := st.layout.Phys(lq)
+			for _, nb := range st.topo.Neighbors(p) {
+				k := swapCand{p, nb}
+				if k.a > k.b {
+					k.a, k.b = k.b, k.a
+				}
+				if !st.candSeen[k] {
+					st.candSeen[k] = true
+					st.cands = append(st.cands, k)
+				}
+			}
+		}
+	}
+	return st.cands
+}
+
+// minParallelCandidates gates the sharded scoring path: below this,
+// goroutine fan-out costs more than the scoring loop itself.
+const minParallelCandidates = 64
+
+// scoreCandidates computes the decayed SABRE score of every candidate
+// by delta against the cached sums. Scoring is pure (read-only state),
+// so on wide topologies the loop shards across the worker pool; the
+// caller's selection pass stays serial and in index order, keeping
+// results bit-identical at any worker count.
+func (st *routingState) scoreCandidates(cands []swapCand, workers int) []float64 {
+	if cap(st.scores) < len(cands) {
+		st.scores = make([]float64, len(cands))
+	}
+	scores := st.scores[:len(cands)]
+	if w := len(cands) / (minParallelCandidates / 2); workers > w {
+		workers = w // keep >= 32 candidates per shard
+	}
+	if workers > 1 && len(cands) >= minParallelCandidates {
+		chunk := (len(cands) + workers - 1) / workers
+		// ForEach's per-index error plumbing is unused here (scoring
+		// cannot fail); it is just a deterministic barrier.
+		_ = pool.ForEach(workers, workers, func(w int) error {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			for i := lo; i < hi; i++ {
+				scores[i] = st.scoreCandidate(cands[i])
+			}
+			return nil
+		})
+		return scores
+	}
+	for i, sc := range cands {
+		scores[i] = st.scoreCandidate(sc)
+	}
+	return scores
+}
+
+// scoreCandidate reproduces the naive averaged score exactly:
+// decay * (mean front distance + W * mean extended distance) under the
+// hypothetical swap, with the sums formed by integer deltas.
+func (st *routingState) scoreCandidate(sc swapCand) float64 {
+	d := st.decay[sc.a]
+	if st.decay[sc.b] > d {
+		d = st.decay[sc.b]
+	}
+	var h float64
+	if nf := len(st.front.pairs); nf > 0 {
+		h += float64(st.front.sum+st.front.swapDelta(sc.a, sc.b, st.layout, st.topo)) / float64(nf)
+	}
+	if ne := len(st.ext.pairs); ne > 0 {
+		h += st.opts.ExtendedSetWeight *
+			(float64(st.ext.sum+st.ext.swapDelta(sc.a, sc.b, st.layout, st.topo)) / float64(ne))
+	}
+	return d * h
+}
+
+// --- Mirror-decision cost views (MirrorContext plumbing) ---
+
+// prepareMirror fills the scratch pair sets for the mirror decision on
+// op `skip`: the other ready 2Q gates plus skip's direct successors at
+// full weight, and the extended window. These are views over the
+// shared traversal — no per-decision closure captures or BFS copies
+// beyond the scratch reuse.
+func (st *routingState) prepareMirror(skip int) {
+	st.mirrorFront = st.mirrorFront[:0]
+	for _, idx := range st.tr.Ready {
+		if idx == skip {
+			continue
+		}
+		op := st.c.Ops[idx]
+		if op.Is2Q() {
+			st.mirrorFront = append(st.mirrorFront, [2]int{op.Qubits[0], op.Qubits[1]})
+		}
+	}
+	for _, s := range st.dag.Succs[skip] {
+		op := st.c.Ops[s]
+		if op.Is2Q() {
+			st.mirrorFront = append(st.mirrorFront, [2]int{op.Qubits[0], op.Qubits[1]})
+		}
+	}
+	st.mirrorExt = st.mirrorExt[:0]
+	for _, idx := range st.tr.Descendants(st.opts.ExtendedSetSize) {
+		op := st.c.Ops[idx]
+		if op.Is2Q() {
+			st.mirrorExt = append(st.mirrorExt, [2]int{op.Qubits[0], op.Qubits[1]})
+		}
+	}
+}
+
+// mirrorCostAt evaluates the summed (non-averaged) heuristic of the
+// prepared mirror sets under an arbitrary layout.
+func (st *routingState) mirrorCostAt(l *topology.Layout) float64 {
+	var h float64
+	if len(st.mirrorFront) > 0 {
+		var s int64
+		for _, p := range st.mirrorFront {
+			s += int64(st.topo.Distance(l.Phys(p[0]), l.Phys(p[1])))
+		}
+		h += float64(s)
+	}
+	if len(st.mirrorExt) > 0 {
+		var s int64
+		for _, p := range st.mirrorExt {
+			s += int64(st.topo.Distance(l.Phys(p[0]), l.Phys(p[1])))
+		}
+		h += st.opts.ExtendedSetWeight * float64(s)
+	}
+	return h
+}
+
+// mirrorCostSwap evaluates the prepared sets at the current layout and
+// at the layout after hypothetically swapping (a, b) — without copying
+// the layout, via the swap map.
+func (st *routingState) mirrorCostSwap(a, b int) (current, swapped float64) {
+	sum := func(pairs [][2]int) (cur, swp int64) {
+		for _, p := range pairs {
+			pa, pb := st.layout.Phys(p[0]), st.layout.Phys(p[1])
+			cur += int64(st.topo.Distance(pa, pb))
+			swp += int64(st.topo.Distance(swapMap(pa, a, b), swapMap(pb, a, b)))
+		}
+		return
+	}
+	if len(st.mirrorFront) > 0 {
+		c, s := sum(st.mirrorFront)
+		current += float64(c)
+		swapped += float64(s)
+	}
+	if len(st.mirrorExt) > 0 {
+		c, s := sum(st.mirrorExt)
+		current += st.opts.ExtendedSetWeight * float64(c)
+		swapped += st.opts.ExtendedSetWeight * float64(s)
+	}
+	return current, swapped
+}

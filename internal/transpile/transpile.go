@@ -57,6 +57,17 @@ type Options struct {
 	// worker per CPU). Non-zero values override Layout.Parallelism.
 	// Results are seed-deterministic at any setting.
 	Parallelism int
+	// ConvergencePatience, when positive, lets the streaming trial
+	// scheduler stop early: scheduling of routing trials ceases after
+	// this many consecutive non-improving trial indices. The stop rule
+	// is defined on trial indices, so results stay seed-deterministic
+	// at any Parallelism. Non-zero values override
+	// Layout.ConvergencePatience; 0 defers to it.
+	ConvergencePatience int
+	// ScoreWorkers shards SWAP-candidate scoring inside each routing
+	// trial (useful on wide topologies when trial counts are small).
+	// Non-zero values override Layout.Routing.ScoreWorkers.
+	ScoreWorkers int
 	// Cache optionally supplies a shared polytope cost cache (used by
 	// TranspileBatch to keep one warmed cache across circuits); nil
 	// gives each transpilation its own cache.
@@ -89,8 +100,14 @@ type Report struct {
 	MirrorsUsed     int
 	// MirrorAcceptRate = MirrorsUsed / 2Q gates routed.
 	MirrorAcceptRate float64
-	TrivialLayout    bool
-	Runtime          time.Duration
+	// TrialsExecuted counts the routing-trial indices the scheduler
+	// consumed; TrialsBudgeted is the full LayoutTrials x RoutingTrials
+	// grid. Executed < budgeted means adaptive early-stop kicked in.
+	// Both are zero on the trivial-layout path (no routing ran).
+	TrialsExecuted int
+	TrialsBudgeted int
+	TrivialLayout  bool
+	Runtime        time.Duration
 }
 
 // Transpile runs the full pipeline.
@@ -102,6 +119,12 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 	opts.Layout = opts.Layout.WithDefaults()
 	if opts.Parallelism != 0 {
 		opts.Layout.Parallelism = opts.Parallelism
+	}
+	if opts.ConvergencePatience != 0 {
+		opts.Layout.ConvergencePatience = opts.ConvergencePatience
+	}
+	if opts.ScoreWorkers != 0 {
+		opts.Layout.Routing.ScoreWorkers = opts.ScoreWorkers
 	}
 
 	// 1. Input cleaning.
@@ -154,6 +177,8 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 	rep.FinalLayout = res.FinalLayout
 	rep.SwapsInserted = res.SwapsInserted
 	rep.MirrorsUsed = res.MirrorsUsed
+	rep.TrialsExecuted = res.TrialsExecuted
+	rep.TrialsBudgeted = res.TrialsBudgeted
 	if res.TwoQubitGates > 0 {
 		rep.MirrorAcceptRate = float64(res.MirrorsUsed) / float64(res.TwoQubitGates)
 	}
@@ -202,8 +227,9 @@ func fillMetrics(rep *Report, basis *polytope.CoverageSet) {
 
 // Summary renders the report as a one-line table row.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("%-20s %-7s depth=%7.2f pulses=%6.1f gates=%7.1f 2q=%4d swaps=%3d mirrors=%3d (%.1f%%) trivial=%v %.0fms",
+	return fmt.Sprintf("%-20s %-7s depth=%7.2f pulses=%6.1f gates=%7.1f 2q=%4d swaps=%3d mirrors=%3d (%.1f%%) trials=%d/%d trivial=%v %.0fms",
 		r.Name, r.Router, r.DepthTime, r.DepthPulses, r.TotalBasisGates,
 		r.Total2QBlocks, r.SwapsInserted, r.MirrorsUsed, 100*r.MirrorAcceptRate,
+		r.TrialsExecuted, r.TrialsBudgeted,
 		r.TrivialLayout, float64(r.Runtime.Milliseconds()))
 }

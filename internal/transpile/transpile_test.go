@@ -190,3 +190,77 @@ func TestReportMetricsConsistency(t *testing.T) {
 		t.Fatal("empty summary")
 	}
 }
+
+// TestAdaptiveKnobsThreadThrough: Options.ConvergencePatience must
+// reach the trial scheduler (trials-executed < budget on a converging
+// circuit), stay deterministic across Parallelism, and the report must
+// carry the schedule that produced it.
+func TestAdaptiveKnobsThreadThrough(t *testing.T) {
+	c := bench.QFT(8)
+	topo := topology.Grid(3, 3)
+	base := Options{
+		Router:            MIRAGE,
+		Layout:            sabre.LayoutOptions{LayoutTrials: 6, RoutingTrials: 6, FwdBwdPasses: 1, Seed: 7},
+		SkipTrivialLayout: true,
+	}
+
+	full, err := Transpile(c, topo, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TrialsExecuted != 36 || full.TrialsBudgeted != 36 {
+		t.Fatalf("fixed grid reported %d/%d trials, want 36/36", full.TrialsExecuted, full.TrialsBudgeted)
+	}
+
+	adaptive := base
+	adaptive.ConvergencePatience = 4
+	var ref *Report
+	for _, par := range []int{1, 4} {
+		adaptive.Parallelism = par
+		rep, err := Transpile(c, topo, adaptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TrialsExecuted >= rep.TrialsBudgeted {
+			t.Fatalf("parallel=%d: patience 4 executed %d of %d trials — no early stop",
+				par, rep.TrialsExecuted, rep.TrialsBudgeted)
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		if rep.TrialsExecuted != ref.TrialsExecuted ||
+			rep.DepthPulses != ref.DepthPulses ||
+			rep.SwapsInserted != ref.SwapsInserted ||
+			rep.MirrorsUsed != ref.MirrorsUsed {
+			t.Fatalf("adaptive results differ across parallelism: %d trials depth=%g swaps=%d vs %d trials depth=%g swaps=%d",
+				rep.TrialsExecuted, rep.DepthPulses, rep.SwapsInserted,
+				ref.TrialsExecuted, ref.DepthPulses, ref.SwapsInserted)
+		}
+	}
+}
+
+// TestScoreWorkersKnobIsTransparent: sharded candidate scoring must
+// not change any reported metric.
+func TestScoreWorkersKnobIsTransparent(t *testing.T) {
+	c := bench.QFT(10)
+	topo := topology.Grid(4, 4)
+	opts := Options{
+		Router:            SABRE,
+		Layout:            sabre.LayoutOptions{LayoutTrials: 2, RoutingTrials: 2, FwdBwdPasses: 1, Seed: 3},
+		SkipTrivialLayout: true,
+	}
+	plain, err := Transpile(c, topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ScoreWorkers = 4
+	sharded, err := Transpile(c, topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.DepthPulses != sharded.DepthPulses || plain.SwapsInserted != sharded.SwapsInserted {
+		t.Fatalf("ScoreWorkers changed the result: depth %g/%g swaps %d/%d",
+			plain.DepthPulses, sharded.DepthPulses, plain.SwapsInserted, sharded.SwapsInserted)
+	}
+}

@@ -129,8 +129,16 @@ type LayoutOptions = sabre.LayoutOptions
 
 // Transpile runs the full pipeline: cleaning, consolidation, trivial
 // layout check, SABRE/MIRAGE routing, metrics. Routing trials run on a
-// bounded worker pool (Options.Parallelism; 0 = one worker per CPU)
-// with seed-deterministic results at any worker count.
+// streaming scheduler over a bounded worker pool (Options.Parallelism;
+// 0 = one worker per CPU) with seed-deterministic results at any
+// worker count. Options.ConvergencePatience > 0 enables adaptive
+// early-stop: trial scheduling ceases after that many consecutive
+// non-improving trial indices — the stop rule is defined on trial
+// indices, never wall-clock arrival order, so adaptive runs are also
+// bit-identical at any Parallelism. Report.TrialsExecuted /
+// TrialsBudgeted record the realised schedule, and
+// Options.ScoreWorkers shards SWAP-candidate scoring inside each trial
+// for very wide topologies.
 func Transpile(c *Circuit, topo *Topology, opts Options) (*Report, error) {
 	return transpile.Transpile(c, topo, opts)
 }
@@ -146,6 +154,8 @@ func TranspileBatch(circuits []*Circuit, topo *Topology, opts Options) ([]*Repor
 // CostCache is the sharded LRU cache from quantised Weyl coordinates
 // to decomposition costs (paper Section VI-C); pass one via
 // Options.Cache to keep it warm across Transpile/TranspileBatch calls.
+// Save/Load (and the SaveFile/LoadFile helpers) persist the table so
+// repeated benchmark runs start warm.
 type CostCache = polytope.CostCache
 
 // NewCostCache returns a cost cache holding up to capacity entries
