@@ -423,6 +423,8 @@ func BenchmarkTranspileBatch(b *testing.B) {
 
 // BenchmarkCoordinateOf measures the core Weyl-coordinate kernel that
 // dominates MIRAGE's cost model (the target of the Fig. 13a caching).
+// CoordinateOf now serves from the closed-form Mat4 kernel; the
+// Fast/Reference pair below isolates the two paths on fixed inputs.
 func BenchmarkCoordinateOf(b *testing.B) {
 	rng := rand.New(rand.NewSource(14))
 	var sink weyl.Coordinate
@@ -436,4 +438,35 @@ func BenchmarkCoordinateOf(b *testing.B) {
 		sink = c
 	}
 	_ = sink
+}
+
+// BenchmarkCoordinateKernels compares the closed-form fixed-size path
+// against the Jacobi reference on identical inputs (run with -benchmem
+// to see the allocation contrast: 0 vs ~54 allocs/op).
+func BenchmarkCoordinateKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	us := make([]*linalg.Matrix, 64)
+	for i := range us {
+		us[i] = linalg.RandSU(4, rng)
+	}
+	for _, mode := range []struct {
+		name string
+		f    func(*linalg.Matrix) (weyl.Coordinate, error)
+	}{
+		{"fast", weyl.CoordinateOfFast},
+		{"reference", weyl.CoordinateOfReference},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink weyl.Coordinate
+			for i := 0; i < b.N; i++ {
+				c, err := mode.f(us[i%len(us)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = c
+			}
+			_ = sink
+		})
+	}
 }

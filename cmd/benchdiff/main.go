@@ -35,6 +35,8 @@ func pct(old, new float64) string {
 func main() {
 	maxDepthRegress := flag.Float64("max-depth-regress", 0,
 		"fail (exit 1) if any row's depth_pulses regresses by more than this percentage (0 = report only)")
+	allowAllocRegress := flag.Bool("allow-alloc-regress", false,
+		"report kernel allocs/op increases without failing (they fail by default: alloc counts are deterministic)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-depth-regress PCT] OLD.json NEW.json")
@@ -105,11 +107,62 @@ func main() {
 			oldF.Cache.LoadedEntries, newF.Cache.LoadedEntries)
 	}
 	fmt.Printf("matched %d of %d rows\n", matched, len(newF.Rows))
+
+	// Kernel lane: ns/op is hardware-dependent context; allocs/op is
+	// deterministic for deterministic code, so any increase on a
+	// matched kernel is a real hot-path regression and fails the diff
+	// unless explicitly waived.
+	var allocRegressions []string
+	if len(oldF.Kernels) > 0 && len(newF.Kernels) == 0 {
+		// The gate must not vanish silently: a baseline with kernel
+		// rows against a new run without them means -kernels was
+		// dropped, and the next cached baseline would disable the
+		// check for good while CI stays green.
+		allocRegressions = append(allocRegressions,
+			"kernel lane missing from the new run (baseline has it — was -kernels dropped?)")
+	}
+	if len(newF.Kernels) > 0 {
+		oldK := make(map[string]bench.KernelRow, len(oldF.Kernels))
+		for _, k := range oldF.Kernels {
+			oldK[k.Name] = k
+		}
+		fmt.Printf("\n%-28s | %22s | %17s\n", "kernel", "ns/op", "allocs/op")
+		for _, k := range newF.Kernels {
+			o, ok := oldK[k.Name]
+			if !ok {
+				fmt.Printf("%-28s | %12.0f     (new) | %8d    (new)\n", k.Name, k.NsPerOp, k.AllocsPerOp)
+				continue
+			}
+			fmt.Printf("%-28s | %12.0f %s | %8d %s\n",
+				k.Name, k.NsPerOp, pct(o.NsPerOp, k.NsPerOp),
+				k.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(k.AllocsPerOp)))
+			if k.AllocsPerOp > o.AllocsPerOp {
+				allocRegressions = append(allocRegressions,
+					fmt.Sprintf("%s allocs/op %d -> %d", k.Name, o.AllocsPerOp, k.AllocsPerOp))
+			}
+		}
+	}
+
+	failed := false
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "depth regressions beyond %.1f%%:\n", *maxDepthRegress)
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "  "+r)
 		}
+		failed = true
+	}
+	if len(allocRegressions) > 0 {
+		fmt.Fprintln(os.Stderr, "kernel allocation regressions:")
+		for _, r := range allocRegressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		if *allowAllocRegress {
+			fmt.Fprintln(os.Stderr, "  (waived by -allow-alloc-regress)")
+		} else {
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

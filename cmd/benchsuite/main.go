@@ -28,7 +28,8 @@ type runConfig struct {
 	patience     int
 	scoreWorkers int
 	cache        *polytope.CostCache
-	cacheLoaded  int // entries merged from -cache-file at startup
+	cacheLoaded  int  // entries merged from -cache-file at startup
+	kernels      bool // run the numeric-kernel -benchmem lane
 }
 
 func (rc *runConfig) options(router transpile.Router, depth bool, fixed *mirage.Aggression) transpile.Options {
@@ -55,7 +56,9 @@ func main() {
 		patience  = flag.Int("patience", 0, "stop scheduling trials after N consecutive non-improving trial indices (0 = fixed grid)")
 		scoreWork = flag.Int("score-workers", 0, "workers for SWAP-candidate scoring inside each trial (0/1 = serial)")
 		cacheFile = flag.String("cache-file", "", "persistent decomposition-cost cache: loaded at startup, saved at exit")
+		coverFile = flag.String("coverage-file", "", "persistent coverage-set library: loaded at startup, saved at exit (skips the empirical polytope rebuilds)")
 		jsonPath  = flag.String("json", "BENCH_routing.json", "machine-readable fig-12 results file (empty = disabled)")
+		kernels   = flag.Bool("kernels", false, "run the numeric-kernel -benchmem lane and record it in the results file")
 	)
 	flag.Parse()
 
@@ -84,6 +87,16 @@ func main() {
 		rc.cacheLoaded = n
 		fmt.Printf("cost cache: warm-started with %d entries from %s\n", n, *cacheFile)
 	}
+	var saveCoverage func() error
+	if *coverFile != "" {
+		var err error
+		saveCoverage, err = polytope.WarmStartCoverageFile(*coverFile, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading %s: %v\n", *coverFile, err)
+			os.Exit(1)
+		}
+	}
+	rc.kernels = *kernels
 
 	switch *fig {
 	case "table3":
@@ -106,6 +119,13 @@ func main() {
 		}
 		fmt.Printf("cost cache: saved %d entries to %s (hit rate %.1f%%)\n",
 			rc.cache.Len(), *cacheFile, 100*rc.cache.HitRate())
+	}
+	if saveCoverage != nil {
+		if err := saveCoverage(); err != nil {
+			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *coverFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("coverage sets: saved library to %s\n", *coverFile)
 	}
 }
 
@@ -258,6 +278,20 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 	fmt.Printf(" paper square:    depth -29.58%%, gates -10.25%%, swaps -59.86%%)\n")
 	total := time.Since(start)
 	fmt.Printf("total runtime: %s\n", total.Round(time.Millisecond))
+	var kernelRows []bench.KernelRow
+	if rc.kernels {
+		fmt.Println("\nnumeric-kernel lane (-benchmem):")
+		var err error
+		kernelRows, err = bench.RunKernelBenchmarks()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, k := range kernelRows {
+			fmt.Printf("  %-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
+				k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp)
+		}
+	}
 	if jsonPath != "" {
 		hits, misses := rc.cache.Stats()
 		f := &bench.RoutingBenchFile{
@@ -276,7 +310,8 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 				Misses:        misses,
 				HitRate:       rc.cache.HitRate(),
 			},
-			Rows: rows,
+			Rows:    rows,
+			Kernels: kernelRows,
 		}
 		if err := f.WriteFile(jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)

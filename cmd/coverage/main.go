@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 
 	"repro/internal/polytope"
 	"repro/internal/weyl"
@@ -20,8 +21,22 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		fig6    = flag.Bool("fig6", false, "print the Fig. 6 CPHASE/pSWAP table instead of volumes")
 		maxRoot = flag.Int("maxroot", 4, "largest iSWAP root to analyse")
+		cover   = flag.String("coverage-file", "", "persistent coverage-set library: loaded at startup, saved at exit (skips the empirical polytope rebuilds)")
 	)
 	flag.Parse()
+
+	if *cover != "" {
+		save, err := polytope.WarmStartCoverageFile(*cover, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := save(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *fig6 {
 		printFig6()

@@ -22,8 +22,22 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		rootsCS = flag.String("roots", "2,3,4", "comma-separated iSWAP roots")
 		out     = flag.String("o", "", "write output to this file instead of stdout")
+		cover   = flag.String("coverage-file", "", "persistent coverage-set library: loaded at startup, saved at exit (skips the empirical polytope rebuilds)")
 	)
 	flag.Parse()
+
+	if *cover != "" {
+		save, err := polytope.WarmStartCoverageFile(*cover, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := save(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -1,0 +1,109 @@
+package bench
+
+// The numeric-kernel benchmark lane (ISSUE 3 satellite): ns/op and
+// allocs/op for the hot kernels of the decomposition substrate —
+// Weyl-coordinate extraction (fast and reference), warm-cache block
+// consolidation, and KAK — recorded into BENCH_routing.json next to
+// the routing rows and diffed by cmd/benchdiff, so an allocation
+// regression on the hot path fails CI as visibly as a depth
+// regression would. Alloc counts are deterministic for deterministic
+// code; wall times are context for the reader.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/decompose"
+	"repro/internal/linalg"
+	"repro/internal/weyl"
+)
+
+// KernelRow is one numeric-kernel measurement.
+type KernelRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// RunKernelBenchmarks measures the kernel suite with the standard
+// testing.Benchmark harness (self-calibrating iteration counts,
+// -benchmem style allocation tracking). Kernel errors are returned,
+// never reported through b.Fatal: testing.Benchmark runs here inside
+// a plain binary with no test context, where b.Fatal crashes with a
+// nil-pointer panic instead of a diagnosable message.
+func RunKernelBenchmarks() ([]KernelRow, error) {
+	rng := rand.New(rand.NewSource(271))
+	targets := make([]*linalg.Matrix, 32)
+	for i := range targets {
+		targets[i] = linalg.RandSU(4, rng)
+	}
+
+	consolidateInput := QFT(12)
+
+	specs := []struct {
+		name string
+		fn   func(b *testing.B) error
+	}{
+		{"weyl/CoordinateOfFast", func(b *testing.B) error {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := weyl.CoordinateOfFast(targets[i%len(targets)]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"weyl/CoordinateOfReference", func(b *testing.B) error {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := weyl.CoordinateOfReference(targets[i%len(targets)]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"circuit/ConsolidateBlocks", func(b *testing.B) error {
+			circuit.ResetCoordinateCache()
+			circuit.ConsolidateBlocks(consolidateInput) // warm the coordinate cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				circuit.ConsolidateBlocks(consolidateInput)
+			}
+			return nil
+		}},
+		{"decompose/KAK", func(b *testing.B) error {
+			kakRng := rand.New(rand.NewSource(272))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := decompose.KAK(targets[i%len(targets)], kakRng); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+
+	rows := make([]KernelRow, 0, len(specs))
+	for _, s := range specs {
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			if err := s.fn(b); err != nil && runErr == nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("kernel %s: %w", s.name, runErr)
+		}
+		rows = append(rows, KernelRow{
+			Name:        s.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return rows, nil
+}

@@ -50,6 +50,10 @@ type RoutingBenchFile struct {
 	TotalWallMS         float64            `json:"total_wall_ms"`
 	Cache               *RoutingCacheStats `json:"cache,omitempty"`
 	Rows                []RoutingRow       `json:"rows"`
+	// Kernels holds the numeric-kernel -benchmem lane (benchsuite
+	// -kernels): ns/op is hardware context, allocs/op is deterministic
+	// and gated by cmd/benchdiff.
+	Kernels []KernelRow `json:"kernels,omitempty"`
 }
 
 // WriteFile renders the document as indented JSON at path.

@@ -17,29 +17,36 @@ import (
 // coordinate is computed from the block *interior* — exterior 1Q
 // layers cannot change it — and the interior unitary doubles as the
 // key of a process-wide coordinate cache.
+//
+// All block accumulation runs on the fixed-size linalg.Mat2/Mat4
+// value kernels: absorbing a gate into a block is pure stack
+// arithmetic, and the only per-block allocations left are the two
+// output gates themselves.
 func ConsolidateBlocks(c *Circuit) *Circuit {
 	out := New(c.Name, c.NumQubits)
 
 	type block struct {
 		a, b     int // a < b
-		leading  [2]*linalg.Matrix
-		interior *linalg.Matrix
-		trailing [2]*linalg.Matrix
+		leading  [2]linalg.Mat2
+		interior linalg.Mat4
+		trailing [2]linalg.Mat2
 		count    int
 	}
 	active := map[[2]int]*block{}
 	owner := make(map[int][2]int) // qubit -> pair key
-	pending := make([]*linalg.Matrix, c.NumQubits)
+	pending := make([]linalg.Mat2, c.NumQubits)
+	pendingSet := make([]bool, c.NumQubits)
 
-	id2 := linalg.Identity(2)
-	sw := gates.SWAP().Matrix()
+	id2 := linalg.IdentityMat2()
+	sw := swapMat4()
 
-	orient := func(op Op, a int) *linalg.Matrix {
+	orient := func(op Op, a int) linalg.Mat4 {
 		// Return the op matrix in (a, b) wire order.
+		g := linalg.Mat4From(op.Gate.Matrix())
 		if op.Qubits[0] == a {
-			return op.Gate.Matrix()
+			return g
 		}
-		return sw.Mul(op.Gate.Matrix()).Mul(sw)
+		return sw.Mul(g).Mul(sw)
 	}
 	side := func(bl *block, q int) int {
 		if q == bl.a {
@@ -47,12 +54,12 @@ func ConsolidateBlocks(c *Circuit) *Circuit {
 		}
 		return 1
 	}
-	embed1Q := func(m *linalg.Matrix, s int) *linalg.Matrix {
+	embed1Q := func(m linalg.Mat2, s int) linalg.Mat4 {
 		// Wire a is the most significant bit of the 4x4 index.
 		if s == 0 {
-			return m.Kron(id2)
+			return m.KronI()
 		}
-		return id2.Kron(m)
+		return m.IKron()
 	}
 
 	flush := func(bl *block) {
@@ -62,9 +69,9 @@ func ConsolidateBlocks(c *Circuit) *Circuit {
 		full := embed1Q(bl.trailing[0], 0).Mul(embed1Q(bl.trailing[1], 1)).
 			Mul(bl.interior).
 			Mul(embed1Q(bl.leading[0], 0)).Mul(embed1Q(bl.leading[1], 1))
-		coord := cachedCoordinate(bl.interior)
+		coord := cachedCoordinateMat4(bl.interior)
 		out.Append(Op{
-			Gate:   gates.NewCustom("block", 2, full),
+			Gate:   gates.NewCustom("block", 2, full.ToMatrix()),
 			Qubits: []int{bl.a, bl.b},
 			Coord:  &coord,
 		})
@@ -75,9 +82,9 @@ func ConsolidateBlocks(c *Circuit) *Circuit {
 		}
 	}
 	flushPending := func(q int) {
-		if pending[q] != nil {
-			out.Append(Op{Gate: gates.NewCustom("u", 1, pending[q]), Qubits: []int{q}})
-			pending[q] = nil
+		if pendingSet[q] {
+			out.Append(Op{Gate: gates.NewCustom("u", 1, pending[q].ToMatrix()), Qubits: []int{q}})
+			pendingSet[q] = false
 		}
 	}
 
@@ -85,17 +92,19 @@ func ConsolidateBlocks(c *Circuit) *Circuit {
 		switch len(op.Qubits) {
 		case 1:
 			q := op.Qubits[0]
+			g := linalg.Mat2From(op.Gate.Matrix())
 			if key, ok := owner[q]; ok {
 				bl := active[key]
 				s := side(bl, q)
-				bl.trailing[s] = op.Gate.Matrix().Mul(bl.trailing[s])
+				bl.trailing[s] = g.Mul(bl.trailing[s])
 				bl.count++
 				continue
 			}
-			if pending[q] == nil {
-				pending[q] = op.Gate.Matrix().Copy()
+			if !pendingSet[q] {
+				pending[q] = g
+				pendingSet[q] = true
 			} else {
-				pending[q] = op.Gate.Matrix().Mul(pending[q])
+				pending[q] = g.Mul(pending[q])
 			}
 		case 2:
 			a, b := op.Qubits[0], op.Qubits[1]
@@ -119,18 +128,18 @@ func ConsolidateBlocks(c *Circuit) *Circuit {
 			flushQubit(b)
 			bl := &block{
 				a: a, b: b,
-				leading:  [2]*linalg.Matrix{id2, id2},
+				leading:  [2]linalg.Mat2{id2, id2},
 				interior: orient(op, a),
-				trailing: [2]*linalg.Matrix{id2, id2},
+				trailing: [2]linalg.Mat2{id2, id2},
 				count:    1,
 			}
-			if pending[a] != nil {
+			if pendingSet[a] {
 				bl.leading[0] = pending[a]
-				pending[a] = nil
+				pendingSet[a] = false
 			}
-			if pending[b] != nil {
+			if pendingSet[b] {
 				bl.leading[1] = pending[b]
-				pending[b] = nil
+				pendingSet[b] = false
 			}
 			active[key] = bl
 			owner[a], owner[b] = key, key
@@ -155,8 +164,28 @@ func ConsolidateBlocks(c *Circuit) *Circuit {
 
 // --- Coordinate cache (paper Fig. 13a) ---
 
+// coordKey is the quantised matrix key: every entry rounded to 1e-7
+// (the same resolution the string-based key used), packed into a
+// comparable fixed-size array. Building one is pure stack work — no
+// byte-slice, no string conversion, no hashing allocation.
+type coordKey [32]int32
+
+// coordKeyScale quantises matrix entries at 1e-7 resolution: far finer
+// than any polytope feature, coarse enough to absorb the accumulated
+// floating-point noise of block products.
+const coordKeyScale = 1e7
+
+func quantiseMat4(m linalg.Mat4) coordKey {
+	var k coordKey
+	for i, v := range m {
+		k[2*i] = int32(math.Round(real(v) * coordKeyScale))
+		k[2*i+1] = int32(math.Round(imag(v) * coordKeyScale))
+	}
+	return k
+}
+
 var (
-	coordCache   = map[string]weyl.Coordinate{}
+	coordCache   = map[coordKey]weyl.Coordinate{}
 	coordCacheMu sync.Mutex
 	coordHits    int64
 	coordMisses  int64
@@ -165,7 +194,13 @@ var (
 // cachedCoordinate returns the Weyl coordinate of a 4x4 unitary,
 // memoised on the quantised matrix entries.
 func cachedCoordinate(m *linalg.Matrix) weyl.Coordinate {
-	key := matrixKey(m)
+	return cachedCoordinateMat4(linalg.Mat4From(m))
+}
+
+// cachedCoordinateMat4 is cachedCoordinate on the fixed-size type; a
+// cache hit performs no allocation at all.
+func cachedCoordinateMat4(m linalg.Mat4) weyl.Coordinate {
+	key := quantiseMat4(m)
 	coordCacheMu.Lock()
 	if c, ok := coordCache[key]; ok {
 		coordHits++
@@ -175,7 +210,7 @@ func cachedCoordinate(m *linalg.Matrix) weyl.Coordinate {
 	coordMisses++
 	coordCacheMu.Unlock()
 
-	c, err := weyl.CoordinateOf(m)
+	c, err := weyl.CoordinateOfMat4(m)
 	if err != nil {
 		// Blocks are products of unitaries, so this indicates numerical
 		// trouble; fall back to the origin rather than crashing.
@@ -200,22 +235,8 @@ func CoordinateCacheStats() (hits, misses int64) {
 func ResetCoordinateCache() {
 	coordCacheMu.Lock()
 	defer coordCacheMu.Unlock()
-	coordCache = map[string]weyl.Coordinate{}
+	coordCache = map[coordKey]weyl.Coordinate{}
 	coordHits, coordMisses = 0, 0
-}
-
-func matrixKey(m *linalg.Matrix) string {
-	buf := make([]byte, 0, len(m.Data)*8)
-	for _, v := range m.Data {
-		buf = appendQuantised(buf, real(v))
-		buf = appendQuantised(buf, imag(v))
-	}
-	return string(buf)
-}
-
-func appendQuantised(buf []byte, v float64) []byte {
-	q := int32(math.Round(v * 1e7))
-	return append(buf, byte(q), byte(q>>8), byte(q>>16), byte(q>>24))
 }
 
 // OpCoordinate returns the Weyl coordinate of a 2Q op, preferring the

@@ -1,0 +1,187 @@
+package circuit
+
+// Tests for the coordinate cache under the comparable quantised keys:
+// quantisation collisions (matrices within rounding distance must
+// share one entry), quantisation boundaries (matrices straddling a
+// rounding step must not), and concurrent access (exercised by the CI
+// -race lane).
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/weyl"
+)
+
+// perturb returns a copy of m with delta added to the real part of
+// entry (0, 0).
+func perturb(m *linalg.Matrix, delta float64) *linalg.Matrix {
+	out := m.Copy()
+	out.Set(0, 0, out.At(0, 0)+complex(delta, 0))
+	return out
+}
+
+func TestCoordinateCacheQuantisationCollision(t *testing.T) {
+	ResetCoordinateCache()
+	base := gates.CX().Matrix()
+	c0 := cachedCoordinate(base)
+
+	// 3e-8 is below half a quantisation step (5e-8 at scale 1e7) and
+	// CX's (0,0) entry is exactly 1, so the perturbed matrix rounds to
+	// the same key: the lookup must hit and return the cached value
+	// even though the matrices differ bitwise.
+	c1 := cachedCoordinate(perturb(base, 3e-8))
+	hits, misses := CoordinateCacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("collision case: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if c0 != c1 {
+		t.Fatalf("collision case returned different coordinates: %v vs %v", c0, c1)
+	}
+}
+
+func TestCoordinateCacheQuantisationBoundary(t *testing.T) {
+	ResetCoordinateCache()
+	base := gates.CX().Matrix()
+	// 4.9e-8 and 5.1e-8 perturbations differ by 2e-9 but sit on
+	// opposite sides of the 5e-8 rounding boundary, so they must get
+	// distinct keys (two misses, no false sharing).
+	cachedCoordinate(perturb(base, 4.9e-8))
+	cachedCoordinate(perturb(base, 5.1e-8))
+	if hits, misses := CoordinateCacheStats(); hits != 0 || misses != 2 {
+		t.Fatalf("boundary case: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+
+	// And the quantised keys really are what separates them.
+	k1 := quantiseMat4(linalg.Mat4From(perturb(base, 4.9e-8)))
+	k2 := quantiseMat4(linalg.Mat4From(perturb(base, 5.1e-8)))
+	if k1 == k2 {
+		t.Fatal("keys on opposite sides of a rounding boundary collided")
+	}
+}
+
+func TestCoordinateCacheKeyIgnoresNoise(t *testing.T) {
+	// Two builds of the same block unitary through different
+	// association orders accumulate different round-off; the cache key
+	// must identify them (this is the property the routing cost model
+	// relies on: one polytope query per gate class).
+	a := gates.RZZ(0.7).Matrix()
+	b := gates.ISwapPow(0.3).Matrix()
+	m1 := a.Mul(b).Mul(a)
+	m2 := a.Mul(b.Mul(a))
+	if quantiseMat4(linalg.Mat4From(m1)) != quantiseMat4(linalg.Mat4From(m2)) {
+		t.Fatal("association-order round-off changed the quantised key")
+	}
+}
+
+func TestCoordinateCacheConcurrent(t *testing.T) {
+	ResetCoordinateCache()
+	rng := rand.New(rand.NewSource(7))
+	mats := make([]*linalg.Matrix, 24)
+	for i := range mats {
+		mats[i] = linalg.RandSU(4, rng)
+	}
+	want := make([]weyl.Coordinate, len(mats))
+	for i, m := range mats {
+		want[i] = cachedCoordinate(m)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				i := (w + rep) % len(mats)
+				if got := cachedCoordinate(mats[i]); got != want[i] {
+					select {
+					case errs <- got.String() + " != " + want[i].String():
+					default:
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent cache returned inconsistent coordinate: %s", e)
+	}
+	hits, misses := CoordinateCacheStats()
+	if misses != int64(len(mats)) {
+		t.Fatalf("concurrent reads caused %d misses, want %d (warm cache)", misses, len(mats))
+	}
+	if hits != int64(8*50) {
+		t.Fatalf("hits=%d, want %d", hits, 8*50)
+	}
+}
+
+func TestCachedCoordinateMat4WarmAllocs(t *testing.T) {
+	ResetCoordinateCache()
+	m := linalg.Mat4From(gates.ISwap().Matrix())
+	cachedCoordinateMat4(m) // warm the entry
+	avg := testing.AllocsPerRun(200, func() {
+		cachedCoordinateMat4(m)
+	})
+	if avg > 0 {
+		t.Errorf("warm cachedCoordinateMat4 allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// --- Accumulation-kernel benchmarks: the Mat4 block arithmetic vs the
+// generic-matrix chain it replaced (the acceptance comparison for the
+// consolidation half of the PR). ---
+
+func blockOps() (lead linalg.Mat2, g2 linalg.Mat4) {
+	return linalg.Mat2From(gates.RY(0.3).Matrix()), linalg.Mat4From(gates.CX().Matrix())
+}
+
+func BenchmarkBlockAccumulateMat4(b *testing.B) {
+	lead, g2 := blockOps()
+	b.ReportAllocs()
+	interior := linalg.IdentityMat4()
+	for i := 0; i < b.N; i++ {
+		interior = g2.Mul(lead.KronI().Mul(interior))
+	}
+	_ = interior
+}
+
+func BenchmarkBlockAccumulateGeneric(b *testing.B) {
+	lead, g2 := blockOps()
+	lg, gg := lead.ToMatrix(), g2.ToMatrix()
+	id2 := linalg.Identity(2)
+	b.ReportAllocs()
+	interior := linalg.Identity(4)
+	for i := 0; i < b.N; i++ {
+		interior = gg.Mul(lg.Kron(id2).Mul(interior))
+	}
+	_ = interior
+}
+
+func BenchmarkConsolidateBlocksWarm(b *testing.B) {
+	c := New("bench", 6)
+	rng := rand.New(rand.NewSource(9))
+	for layer := 0; layer < 20; layer++ {
+		for q := 0; q < 6; q++ {
+			c.Add(gates.RY(float64(rng.Intn(8))*math.Pi/4), q)
+		}
+		for q := 0; q+1 < 6; q += 2 {
+			c.Add(gates.CX(), q, q+1)
+		}
+		for q := 1; q+1 < 6; q += 2 {
+			c.Add(gates.CX(), q, q+1)
+		}
+	}
+	ResetCoordinateCache()
+	ConsolidateBlocks(c) // warm the coordinate cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConsolidateBlocks(c)
+	}
+}

@@ -13,10 +13,25 @@ const MaxUnitaryQubits = 10
 
 // Unitary computes the full 2^n x 2^n unitary of the circuit. Qubit 0
 // is the most significant bit of the state index, matching the 2Q gate
-// convention (row = q0*2 + q1).
+// convention (row = q0*2 + q1). One- and two-qubit circuits — the
+// dominant case for synthesis verification — accumulate on the
+// fixed-size Mat2/Mat4 kernels with a single allocation for the
+// result.
 func (c *Circuit) Unitary() (*linalg.Matrix, error) {
 	if c.NumQubits > MaxUnitaryQubits {
 		return nil, fmt.Errorf("circuit: %d qubits exceeds unitary limit %d", c.NumQubits, MaxUnitaryQubits)
+	}
+	if c.NumQubits == 2 {
+		if u, ok := c.unitary2Q(); ok {
+			return u, nil
+		}
+	}
+	if c.NumQubits == 1 {
+		u := linalg.IdentityMat2()
+		for _, op := range c.Ops {
+			u = linalg.Mat2From(op.Gate.Matrix()).Mul(u)
+		}
+		return u.ToMatrix(), nil
 	}
 	dim := 1 << c.NumQubits
 	u := linalg.Identity(dim)
@@ -25,6 +40,45 @@ func (c *Circuit) Unitary() (*linalg.Matrix, error) {
 		u = full.Mul(u)
 	}
 	return u, nil
+}
+
+// unitary2Q accumulates a two-qubit circuit on the Mat4 kernel. It
+// reports ok = false for op shapes it does not handle (which then take
+// the generic embedOp path).
+func (c *Circuit) unitary2Q() (*linalg.Matrix, bool) {
+	u := linalg.IdentityMat4()
+	sw := swapMat4()
+	for _, op := range c.Ops {
+		switch len(op.Qubits) {
+		case 1:
+			g := linalg.Mat2From(op.Gate.Matrix())
+			if op.Qubits[0] == 0 {
+				u = g.KronI().Mul(u)
+			} else {
+				u = g.IKron().Mul(u)
+			}
+		case 2:
+			g := linalg.Mat4From(op.Gate.Matrix())
+			if op.Qubits[0] == 0 {
+				u = g.Mul(u)
+			} else {
+				u = sw.Mul(g).Mul(sw).Mul(u)
+			}
+		default:
+			return nil, false
+		}
+	}
+	return u.ToMatrix(), true
+}
+
+// swapMat4 returns the SWAP matrix used to reverse 2Q wire order.
+func swapMat4() linalg.Mat4 {
+	return linalg.Mat4{
+		1, 0, 0, 0,
+		0, 0, 1, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+	}
 }
 
 // embedOp expands an op's gate matrix to the full register.

@@ -11,6 +11,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	"repro/internal/gates"
 	"repro/internal/linalg"
 	"repro/internal/weyl"
 )
@@ -28,10 +29,14 @@ type KAKDecomposition struct {
 	X, Y, Z            float64
 }
 
-// Reconstruct multiplies the decomposition back together.
+// Reconstruct multiplies the decomposition back together on the
+// fixed-size kernels (closed-form canonical gate, value-type products;
+// the only allocation is the returned matrix).
 func (d *KAKDecomposition) Reconstruct() *linalg.Matrix {
-	can := weyl.Coordinate{X: d.X, Y: d.Y, Z: d.Z}.Gate()
-	return d.K1l.Kron(d.K1r).Mul(can).Mul(d.K2l.Kron(d.K2r)).Scale(d.GlobalPhase)
+	can := gates.CanonicalMat4(d.X, d.Y, d.Z)
+	k1 := linalg.Mat2From(d.K1l).Kron(linalg.Mat2From(d.K1r))
+	k2 := linalg.Mat2From(d.K2l).Kron(linalg.Mat2From(d.K2r))
+	return k1.Mul(can).Mul(k2).Scale(d.GlobalPhase).ToMatrix()
 }
 
 // CanonicalCoordinate returns the chamber representative of the
@@ -58,8 +63,9 @@ func KAK(u *linalg.Matrix, rng *rand.Rand) (*KAKDecomposition, error) {
 	phase := cmplx.Pow(det, 0.25)
 	v := u.Scale(1 / phase)
 
+	// Shared immutable basis matrices (only read here).
 	b := weyl.MagicBasis()
-	bd := b.Dagger()
+	bd := weyl.MagicBasisDagger()
 	m := bd.Mul(v).Mul(b)
 
 	gamma := m.Mul(m.Transpose())
@@ -85,25 +91,29 @@ func KAK(u *linalg.Matrix, rng *rand.Rand) (*KAKDecomposition, error) {
 	if o.ImagPart().FrobeniusNorm() > 1e-6 {
 		// The half-angle branch for some eigenvalue was inconsistent;
 		// flipping theta by pi flips the sign of that diagonal entry.
-		// Search the 2^4 branch combinations for a real O.
+		// Search the 2^4 branch combinations for a real O, on the
+		// fixed-size kernels (up to 16 triple products, previously 80
+		// matrix allocations).
+		m4 := linalg.Mat4From(m)
+		q14 := linalg.Mat4From(q1)
+		q14t := q14.Transpose()
 		found := false
 		for mask := 0; mask < 16 && !found; mask++ {
-			th := append([]float64(nil), theta...)
+			var th [4]float64
+			var dh linalg.Mat4
 			for i := 0; i < 4; i++ {
+				th[i] = theta[i]
 				if mask&(1<<i) != 0 {
 					th[i] += math.Pi
 				}
+				dh[i*4+i] = cmplx.Exp(complex(0, th[i]))
 			}
-			dh := linalg.New(4, 4)
-			for i := 0; i < 4; i++ {
-				dh.Set(i, i, cmplx.Exp(complex(0, th[i])))
-			}
-			sc := q1.Mul(dh).Mul(q1.Transpose())
-			oc := sc.Dagger().Mul(m)
-			if oc.ImagPart().FrobeniusNorm() < 1e-6 {
-				theta = th
-				dhalf = dh
-				o = oc
+			sc := q14.Mul(dh).Mul(q14t)
+			oc := sc.Dagger().Mul(m4)
+			if oc.ImagFrobeniusNorm() < 1e-6 {
+				copy(theta, th[:])
+				dhalf = dh.ToMatrix()
+				o = oc.ToMatrix()
 				found = true
 			}
 		}

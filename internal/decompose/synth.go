@@ -20,6 +20,14 @@ func ProcessFidelity(a, b *linalg.Matrix) float64 {
 	return tr * tr / (d * d)
 }
 
+// ProcessFidelityMat4 is ProcessFidelity on the fixed-size type,
+// computing Tr(A^dagger B) as an elementwise inner product: no
+// intermediate matrices, no allocation.
+func ProcessFidelityMat4(a, b linalg.Mat4) float64 {
+	tr := cmplx.Abs(a.TraceMulDagger(b))
+	return tr * tr / 16
+}
+
 // AvgGateFidelity converts process fidelity to average gate fidelity:
 // (d Fpro + 1) / (d + 1).
 func AvgGateFidelity(a, b *linalg.Matrix) float64 {
@@ -41,17 +49,20 @@ type SynthesisResult struct {
 }
 
 // ansatzUnitary builds the ansatz for the given parameter vector
-// (6 angles per local layer, k+1 layers).
-func ansatzUnitary(basis *linalg.Matrix, k int, params []float64) *linalg.Matrix {
-	layer := func(i int) *linalg.Matrix {
-		p := params[6*i : 6*i+6]
-		return gates.U3(p[0], p[1], p[2]).Matrix().Kron(gates.U3(p[3], p[4], p[5]).Matrix())
-	}
-	u := layer(0)
+// (6 angles per local layer, k+1 layers) on the fixed-size kernels:
+// this is the Nelder-Mead objective's only work, evaluated tens of
+// thousands of times per synthesis, and it performs no allocation.
+func ansatzUnitary(basis linalg.Mat4, k int, params []float64) linalg.Mat4 {
+	u := u3Layer(params[0:6])
 	for i := 1; i <= k; i++ {
-		u = u.Mul(basis).Mul(layer(i))
+		u = u.Mul(basis).Mul(u3Layer(params[6*i : 6*i+6]))
 	}
 	return u
+}
+
+// u3Layer builds the 1Q pair layer U3(p0..p2) (x) U3(p3..p5).
+func u3Layer(p []float64) linalg.Mat4 {
+	return gates.U3Mat2(p[0], p[1], p[2]).Kron(gates.U3Mat2(p[3], p[4], p[5]))
 }
 
 // SynthOptions tunes numerical synthesis.
@@ -84,10 +95,11 @@ func (o SynthOptions) withDefaults() SynthOptions {
 // whether it is acceptable.
 func Synthesize(target *linalg.Matrix, basis gates.Gate, k int, opts SynthOptions) *SynthesisResult {
 	opts = opts.withDefaults()
-	bm := basis.Matrix()
+	bm := basis.Mat4()
+	tm := linalg.Mat4From(target)
 	dim := 6 * (k + 1)
 	obj := func(p []float64) float64 {
-		return 1 - ProcessFidelity(target, ansatzUnitary(bm, k, p))
+		return 1 - ProcessFidelityMat4(tm, ansatzUnitary(bm, k, p))
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	bestV := math.Inf(1)

@@ -303,3 +303,48 @@ func Canonical(x, y, z float64) Gate {
 func Dagger(g Gate) Gate {
 	return Gate{Name: g.Name + "_dg", Qubits: g.Qubits, Params: g.Params, matrix: g.Matrix().Dagger()}
 }
+
+// --- Fixed-size kernel constructors ---
+//
+// The numeric hot paths (ansatz fitting, block consolidation, KAK
+// reconstruction) rebuild parameterised gates inside inner loops; the
+// variants below produce linalg.Mat2/Mat4 values directly, with no
+// heap traffic.
+
+// Mat2 returns the 1Q gate matrix as a fixed-size value.
+func (g Gate) Mat2() linalg.Mat2 { return linalg.Mat2From(g.matrix) }
+
+// Mat4 returns the 2Q gate matrix as a fixed-size value.
+func (g Gate) Mat4() linalg.Mat4 { return linalg.Mat4From(g.matrix) }
+
+// U3Mat2 returns the U3(theta, phi, lambda) matrix as a Mat2 value
+// (the inner-loop form of U3: same convention, no allocation).
+func U3Mat2(theta, phi, lambda float64) linalg.Mat2 {
+	ct := complex(math.Cos(theta/2), 0)
+	st := complex(math.Sin(theta/2), 0)
+	return linalg.Mat2{
+		ct, -cmplx.Exp(complex(0, lambda)) * st,
+		cmplx.Exp(complex(0, phi)) * st, cmplx.Exp(complex(0, phi+lambda)) * ct,
+	}
+}
+
+// CanonicalMat4 returns CAN(x, y, z) = exp(i (x XX + y YY + z ZZ)) as
+// a Mat4 value, in closed form: the generator is block-diagonal on
+// {|00>,|11>} and {|01>,|10>}, where it reads z I + (x-y) X and
+// -z I + (x+y) X respectively, so each block exponentiates to a phase
+// times a rotation. Canonical (the generic constructor) is pinned to
+// this in the gates tests.
+func CanonicalMat4(x, y, z float64) linalg.Mat4 {
+	ez := cmplx.Exp(complex(0, z))
+	ezc := cmplx.Exp(complex(0, -z))
+	cm := complex(math.Cos(x-y), 0)
+	sm := complex(0, math.Sin(x-y))
+	cp := complex(math.Cos(x+y), 0)
+	sp := complex(0, math.Sin(x+y))
+	return linalg.Mat4{
+		ez * cm, 0, 0, ez * sm,
+		0, ezc * cp, ezc * sp, 0,
+		0, ezc * sp, ezc * cp, 0,
+		ez * sm, 0, 0, ez * cm,
+	}
+}

@@ -1,0 +1,129 @@
+package polytope
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/weyl"
+)
+
+func TestCoverageSetSaveLoadRoundTrip(t *testing.T) {
+	orig := NewISwapRootCoverage(2)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadCoverageSet(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Name != orig.Name || loaded.Root != orig.Root ||
+		loaded.PerGateCost != orig.PerGateCost || len(loaded.Regions) != len(orig.Regions) {
+		t.Fatalf("round trip changed identity: %+v", loaded)
+	}
+	if !loaded.Basis.Matrix().EqualApprox(orig.Basis.Matrix(), 1e-15) {
+		t.Fatal("round trip changed the basis gate")
+	}
+	// The loaded set must answer cost queries identically.
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 200; i++ {
+		c := weyl.HaarSample(rng)
+		for _, mirror := range []bool{false, true} {
+			ro, okO := orig.MinCost(c, mirror)
+			rl, okL := loaded.MinCost(c, mirror)
+			if okO != okL || ro.K != rl.K || ro.Cost != rl.Cost {
+				t.Fatalf("MinCost(%v, mirror=%v) diverged: (%v,%v) vs (%v,%v)",
+					c, mirror, ro, okO, rl, okL)
+			}
+		}
+	}
+}
+
+func TestCoverageSetSaveRefusesNonRootSets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCNOTCoverage().Save(&buf); err == nil {
+		t.Fatal("Save accepted a coverage set with no root identity")
+	}
+}
+
+func TestLoadCoverageSetRejectsTamperedIdentity(t *testing.T) {
+	snap, err := NewISwapRootCoverage(2).snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*coverageSnapshot)
+	}{
+		{"version", func(s *coverageSnapshot) { s.Version = coverageSnapshotVersion + 1 }},
+		{"name", func(s *coverageSnapshot) { s.Name = "iswap^1/3" }},
+		{"cost", func(s *coverageSnapshot) { s.PerGateCost = 0.25 }},
+		{"coord", func(s *coverageSnapshot) { s.BasisCoord[0] += 0.1 }},
+		{"regions", func(s *coverageSnapshot) { s.Regions = nil }},
+	}
+	for _, tc := range cases {
+		bad := snap
+		bad.Regions = append([]savedRegion(nil), snap.Regions...)
+		tc.mutate(&bad)
+		if _, err := coverageFromSnapshot(bad); err == nil {
+			t.Errorf("%s: tampered snapshot was accepted", tc.name)
+		}
+	}
+}
+
+func TestRootCoverageRegistryFileRoundTrip(t *testing.T) {
+	NewISwapRootCoverage(2) // ensure at least one registry entry
+	path := filepath.Join(t.TempDir(), "coverage.gob")
+
+	if err := SaveRootCoverageFile(path); err != nil {
+		t.Fatalf("SaveRootCoverageFile: %v", err)
+	}
+	// Existing entries win: loading into the warm registry inserts 0.
+	if n, err := LoadRootCoverageFile(path); err != nil || n != 0 {
+		t.Fatalf("warm load: n=%d err=%v, want 0/nil", n, err)
+	}
+
+	// A cold registry picks the sets up from the file.
+	iswapRootCacheMu.Lock()
+	saved := iswapRootCache
+	iswapRootCache = map[int]*CoverageSet{}
+	iswapRootCacheMu.Unlock()
+	defer func() {
+		iswapRootCacheMu.Lock()
+		iswapRootCache = saved
+		iswapRootCacheMu.Unlock()
+	}()
+
+	n, err := LoadRootCoverageFile(path)
+	if err != nil || n < 1 {
+		t.Fatalf("cold load: n=%d err=%v", n, err)
+	}
+	// NewISwapRootCoverage must now serve the loaded set without
+	// rebuilding (pointer identity through the registry).
+	iswapRootCacheMu.Lock()
+	fromFile := iswapRootCache[2]
+	iswapRootCacheMu.Unlock()
+	if got := NewISwapRootCoverage(2); got != fromFile {
+		t.Fatal("registry rebuilt a set that the snapshot already provided")
+	}
+}
+
+func TestLoadRootCoverageFileMissingIsNotAnError(t *testing.T) {
+	n, err := LoadRootCoverageFile(filepath.Join(t.TempDir(), "absent.gob"))
+	if n != 0 || err != nil {
+		t.Fatalf("missing file: n=%d err=%v, want 0/nil", n, err)
+	}
+}
+
+func TestLoadRootCoverageRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.gob")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRootCoverageFile(path); err == nil {
+		t.Fatal("garbage snapshot was accepted")
+	}
+}

@@ -249,15 +249,17 @@ func (o BuildOptions) withDefaults() BuildOptions {
 // ansatzCoordinate evaluates the Weyl coordinate of
 // B . L_1 . B . L_2 ... B (k applications of the basis gate with k-1
 // interleaved local layers), where params holds 6 Euler angles per
-// local layer.
-func ansatzCoordinate(basis *linalg.Matrix, k int, params []float64) (weyl.Coordinate, bool) {
-	u := basis.Copy()
+// local layer. It runs entirely on the fixed-size kernels — this is
+// the inner objective of the Nelder-Mead support sweeps, called
+// hundreds of thousands of times per empirical polytope.
+func ansatzCoordinate(basis linalg.Mat4, k int, params []float64) (weyl.Coordinate, bool) {
+	u := basis
 	for layer := 0; layer < k-1; layer++ {
 		p := params[6*layer : 6*layer+6]
-		l := gates.U3(p[0], p[1], p[2]).Matrix().Kron(gates.U3(p[3], p[4], p[5]).Matrix())
+		l := gates.U3Mat2(p[0], p[1], p[2]).Kron(gates.U3Mat2(p[3], p[4], p[5]))
 		u = u.Mul(l).Mul(basis)
 	}
-	c, err := weyl.CoordinateOf(u)
+	c, err := weyl.CoordinateOfMat4(u)
 	if err != nil {
 		return weyl.Coordinate{}, false
 	}
@@ -271,9 +273,9 @@ func BuildEmpirical(label string, basis gates.Gate, k int, opts BuildOptions) *C
 	if k < 1 {
 		panic("polytope: k must be >= 1")
 	}
-	bm := basis.Matrix()
+	bm := basis.Mat4()
 	if k == 1 {
-		c, err := weyl.CoordinateOf(bm)
+		c, err := weyl.CoordinateOf(basis.Matrix())
 		if err != nil {
 			panic(fmt.Sprintf("polytope: basis gate has no coordinate: %v", err))
 		}
@@ -412,6 +414,7 @@ type CoverageSet struct {
 	Basis       gates.Gate
 	BasisCoord  weyl.Coordinate
 	PerGateCost float64 // time cost of one basis application (iSWAP = 1.0)
+	Root        int     // iSWAP root n for iSWAP^(1/n) sets, 0 otherwise
 	Regions     []CostedRegion
 }
 
@@ -489,6 +492,7 @@ func NewISwapRootCoverage(n int) *CoverageSet {
 		Basis:       basis,
 		BasisCoord:  weyl.RootISwapCoord(n),
 		PerGateCost: 1.0 / float64(n),
+		Root:        n,
 	}
 	// Local (identity-class) blocks are free: k = 0. This is what makes
 	// the mirror of a lone SWAP cost nothing.

@@ -1,0 +1,242 @@
+package weyl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+)
+
+// agreeTol is the fast-vs-reference coordinate agreement bound: both
+// paths recover eigenphases to near machine precision (the reference
+// via a fully-converged Jacobi sweep, the fast path via Newton-polished
+// closed-form roots with derivative-based cluster repair), so the
+// chamber representatives must match far below any geometric feature.
+const agreeTol = 1e-9
+
+// dress returns (k1 x k2) * u * (k3 x k4) for Haar-random 1Q gates:
+// local dressing never changes the Weyl coordinate, and it takes the
+// structured degenerate-spectrum cases off their special-form matrices
+// so the extraction cannot exploit sparsity.
+func dress(u *linalg.Matrix, rng *rand.Rand) *linalg.Matrix {
+	k1 := linalg.RandSU(2, rng).Kron(linalg.RandSU(2, rng))
+	k2 := linalg.RandSU(2, rng).Kron(linalg.RandSU(2, rng))
+	return k1.Mul(u).Mul(k2)
+}
+
+// checkAgreement pins the fast-path contract: whenever the closed-form
+// kernel accepts an input it must agree with the reference to agreeTol
+// (it is allowed to *reject* ill-conditioned inputs — near-degenerate
+// spectra whose characteristic polynomial cannot resolve the roots —
+// which CoordinateOf then routes through the reference), and the
+// public CoordinateOf must always match the reference.
+func checkAgreement(t *testing.T, name string, u *linalg.Matrix) {
+	t.Helper()
+	ref, errRef := CoordinateOfReference(u)
+	if errRef != nil {
+		t.Fatalf("%s: reference failed: %v", name, errRef)
+	}
+	if fast, err := CoordinateOfFast(u); err == nil {
+		if !fast.ApproxEqual(ref, agreeTol) {
+			t.Errorf("%s: fast %v vs reference %v (|dx|=%g |dy|=%g |dz|=%g)",
+				name, fast, ref,
+				math.Abs(fast.X-ref.X), math.Abs(fast.Y-ref.Y), math.Abs(fast.Z-ref.Z))
+		}
+	}
+	pub, err := CoordinateOf(u)
+	if err != nil {
+		t.Fatalf("%s: CoordinateOf failed: %v", name, err)
+	}
+	if !pub.ApproxEqual(ref, agreeTol) {
+		t.Errorf("%s: CoordinateOf %v vs reference %v", name, pub, ref)
+	}
+}
+
+// TestFastVsReferenceRandomSU4 pins the closed-form path to the Jacobi
+// reference on generic (well-separated-spectrum) inputs.
+func TestFastVsReferenceRandomSU4(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		u := linalg.RandSU(4, rng)
+		checkAgreement(t, fmt.Sprintf("su4[%d]", trial), u)
+	}
+}
+
+// TestFastVsReferenceCliffordCorners exercises the degenerate-spectrum
+// corner gates (double and quadruple Gamma eigenvalues), raw and under
+// random local dressing.
+func TestFastVsReferenceCliffordCorners(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	corners := []struct {
+		name string
+		m    *linalg.Matrix
+	}{
+		{"identity", linalg.Identity(4)},
+		{"cx", gates.CX().Matrix()},
+		{"cz", gates.CZ().Matrix()},
+		{"swap", gates.SWAP().Matrix()},
+		{"iswap", gates.ISwap().Matrix()},
+		{"cns", gates.CNS().Matrix()},
+		{"sqrt_iswap", gates.SqrtISwap().Matrix()},
+		{"iswap_r3", gates.SqrtISwapN(3).Matrix()},
+	}
+	for _, c := range corners {
+		checkAgreement(t, c.name, c.m)
+		for d := 0; d < 2; d++ {
+			checkAgreement(t, fmt.Sprintf("%s/dressed%d", c.name, d), dress(c.m, rng))
+		}
+	}
+}
+
+// TestFastVsReferenceChamberBoundary probes canonical gates on every
+// chamber facet and degeneracy class: the X = pi/4 face, the X = Y and
+// Y = |Z| edges, the triple-degenerate X = Y = Z diagonal, and points
+// straddling the (pi/4, y, z) ~ (pi/4, y, -z) identification.
+func TestFastVsReferenceChamberBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	q := math.Pi / 4
+	cases := []struct {
+		name    string
+		x, y, z float64
+	}{
+		{"face_x", q, 0.31, 0.11},
+		{"face_x_negz", q, 0.31, -0.11},
+		{"edge_xy", 0.52, 0.52, 0.17},
+		{"edge_yz", 0.52, 0.23, 0.23},
+		{"edge_yz_neg", 0.52, 0.23, -0.23},
+		{"diag_xyz", 0.29, 0.29, 0.29},
+		{"cnot_corner", q, 0, 0},
+		{"iswap_edge", q, q, 0},
+		{"swap_corner", q, q, q},
+		{"half_diag", q / 2, q / 2, q / 2},
+		{"z_zero_plane", 0.47, 0.21, 0},
+		{"near_origin", 1e-4, 1e-4, 0},
+	}
+	for _, c := range cases {
+		m := gates.Canonical(c.x, c.y, c.z).Matrix()
+		checkAgreement(t, c.name, m)
+		checkAgreement(t, c.name+"/dressed", dress(m, rng))
+	}
+}
+
+// TestFastPathNoFallback verifies CoordinateOf actually serves Haar
+// inputs from the closed-form kernel (no silent permanent fallback).
+func TestFastPathNoFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		u := linalg.RandSU(4, rng)
+		if _, err := CoordinateOfFast(u); err != nil {
+			t.Fatalf("fast path rejected Haar sample %d: %v", trial, err)
+		}
+	}
+}
+
+// TestFastRejectsNonUnitary: the closed-form path assumes the
+// self-inversive Gamma structure, which only unitaries provide; a
+// clearly non-unitary input must be rejected (and CoordinateOf then
+// reports the reference path's verdict rather than garbage).
+func TestFastRejectsNonUnitary(t *testing.T) {
+	m := linalg.Identity(4).Scale(complex(1.3, 0))
+	m.Set(2, 3, 0.7)
+	if _, err := CoordinateOfFast(m); err == nil {
+		t.Fatal("fast path accepted a non-unitary matrix")
+	}
+}
+
+// TestCoordinateOfMat4Allocs pins the allocation-free contract of the
+// whole fast chain (spectrum, candidate recovery, canonicalisation).
+func TestCoordinateOfMat4Allocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	us := make([]linalg.Mat4, 16)
+	for i := range us {
+		us[i] = linalg.RandSU4(rng)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := CoordinateOfMat4(us[i%len(us)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg > 0 {
+		t.Errorf("CoordinateOfMat4 allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestHaarSampleMatchesChamber: the fast sampler must keep producing
+// valid chamber points (and exercises RandSU4 + CoordinateOfMat4).
+func TestHaarSampleMatchesChamber(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for i := 0; i < 200; i++ {
+		c := HaarSample(rng)
+		if !c.InChamber(1e-9) {
+			t.Fatalf("HaarSample left the chamber: %v", c)
+		}
+	}
+}
+
+// TestRandSU4MatchesGeneric: the fixed-size Haar sampler consumes the
+// same randomness stream and produces the same unitary (up to the
+// det-normalisation phase round-off) as the generic RandSU(4).
+func TestRandSU4MatchesGeneric(t *testing.T) {
+	a := linalg.RandSU(4, rand.New(rand.NewSource(47)))
+	b := linalg.RandSU4(rand.New(rand.NewSource(47))).ToMatrix()
+	if !a.EqualUpToGlobalPhase(b, 1e-12) {
+		t.Fatalf("RandSU4 diverged from RandSU(4): max diff %g", a.MaxAbsDiff(b))
+	}
+	if !b.IsUnitary(1e-12) {
+		t.Fatal("RandSU4 output is not unitary")
+	}
+}
+
+// --- Benchmarks (the acceptance numbers: >=2x faster, <=1 alloc/op) ---
+
+func benchmarkCoordinate(b *testing.B, f func(*linalg.Matrix) (Coordinate, error)) {
+	rng := rand.New(rand.NewSource(48))
+	us := make([]*linalg.Matrix, 64)
+	for i := range us {
+		us[i] = linalg.RandSU(4, rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink Coordinate
+	for i := 0; i < b.N; i++ {
+		c, err := f(us[i%len(us)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c
+	}
+	_ = sink
+}
+
+func BenchmarkCoordinateOfFast(b *testing.B) {
+	benchmarkCoordinate(b, CoordinateOfFast)
+}
+
+func BenchmarkCoordinateOfReference(b *testing.B) {
+	benchmarkCoordinate(b, CoordinateOfReference)
+}
+
+func BenchmarkHaarSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(49))
+	b.ReportAllocs()
+	var sink Coordinate
+	for i := 0; i < b.N; i++ {
+		sink = HaarSample(rng)
+	}
+	_ = sink
+}
+
+func BenchmarkMirror(b *testing.B) {
+	c := Coordinate{0.41, 0.23, 0.08}
+	b.ReportAllocs()
+	var sink Coordinate
+	for i := 0; i < b.N; i++ {
+		sink = Mirror(c)
+	}
+	_ = sink
+}

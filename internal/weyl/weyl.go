@@ -135,9 +135,14 @@ var magicBasis = linalg.FromRows([][]complex128{
 
 var magicBasisDagger = magicBasis.Dagger()
 
-// MagicBasis returns a copy of the magic basis matrix (exported for
-// tests and for the decomposition package).
-func MagicBasis() *linalg.Matrix { return magicBasis.Copy() }
+// MagicBasis returns the magic basis matrix. The returned matrix is
+// shared and immutable — callers must not modify it. (It used to be a
+// fresh deep copy per call, which put two allocations on every KAK
+// invocation.)
+func MagicBasis() *linalg.Matrix { return magicBasis }
+
+// MagicBasisDagger returns B^dagger, shared and immutable.
+func MagicBasisDagger() *linalg.Matrix { return magicBasisDagger }
 
 // gammaSpectrum returns the four unit-circle eigenvalues of
 // Gamma(U) = M M^T, M = B^dagger (U/det^{1/4}) B.
@@ -199,12 +204,32 @@ func spectraMatch(a, b [4]complex128, sign complex128, tol float64) bool {
 	return true
 }
 
-// CoordinateOf computes the canonical Weyl coordinate of a 4x4 unitary.
+// CoordinateOf computes the canonical Weyl coordinate of a 4x4
+// unitary. It runs the closed-form fixed-size kernel
+// (CoordinateOfFast) and falls back to the reference Jacobi
+// diagonalisation only when the fast path rejects the input.
 func CoordinateOf(u *linalg.Matrix) (Coordinate, error) {
+	if u.Rows == 4 && u.Cols == 4 {
+		return CoordinateOfMat4(linalg.Mat4From(u))
+	}
+	return CoordinateOfReference(u)
+}
+
+// CoordinateOfReference computes the coordinate via the iterative
+// randomised Jacobi diagonalisation of Gamma. It is kept as the
+// reference implementation the fast path is property-tested against
+// (the weyl analogue of sabre.RouteReference).
+func CoordinateOfReference(u *linalg.Matrix) (Coordinate, error) {
 	spec, err := gammaSpectrum(u)
 	if err != nil {
 		return Coordinate{}, err
 	}
+	return coordinateFromSpectrum(spec)
+}
+
+// coordinateFromSpectrum recovers the canonical coordinate from a
+// measured Gamma spectrum; shared by the fast and reference paths.
+func coordinateFromSpectrum(spec [4]complex128) (Coordinate, error) {
 	theta := [4]float64{}
 	for i, lam := range spec {
 		theta[i] = cmplx.Phase(lam) / 2
@@ -259,22 +284,25 @@ func MustCoordinateOf(u *linalg.Matrix) Coordinate {
 // The local-equivalence group acting on raw coordinate triples is
 // generated by: coordinate permutations, simultaneous sign flips of
 // any two coordinates, and shifts of any single coordinate by pi/2.
-// Canonicalize explores the (finite) orbit of these operations with
-// coordinates reduced mod pi/2 and returns the unique representative
-// inside the canonical chamber, using lexicographic order to break
-// boundary ties (which selects Z >= 0 on the X = pi/4 face).
+// With coordinates reduced mod pi/2 into [0, pi/2), the shifts act
+// trivially and a sign flip becomes x -> pi/2 - x, so the whole orbit
+// is the 24-element group S3 x (even sign-flip masks) and can be
+// enumerated directly — no search, no allocation (Canonicalize sits
+// on the coordinate-extraction and Mirror hot paths). Canonicalize
+// returns the unique representative inside the canonical chamber,
+// using lexicographic order to break boundary ties (which selects
+// Z >= 0 on the X = pi/4 face).
+
+// canonPerms and canonFlips enumerate S3 and the even sign-flip masks.
+var canonPerms = [6][3]int{
+	{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}
+var canonFlips = [4][3]bool{
+	{false, false, false}, {true, true, false}, {true, false, true}, {false, true, true},
+}
+
 func Canonicalize(c Coordinate) Coordinate {
 	start := [3]float64{mod2(c.X), mod2(c.Y), mod2(c.Z)}
-	type key [3]int64
-	quant := func(v [3]float64) key {
-		var k key
-		for i, x := range v {
-			k[i] = int64(math.Round(x * 1e9))
-		}
-		return k
-	}
-	seen := map[key]bool{quant(start): true}
-	queue := [][3]float64{start}
 	best := Coordinate{}
 	found := false
 
@@ -309,16 +337,17 @@ func Canonicalize(c Coordinate) Coordinate {
 		}
 	}
 
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		consider(v)
-		for _, nb := range neighbors(v) {
-			k := quant(nb)
-			if !seen[k] {
-				seen[k] = true
-				queue = append(queue, nb)
+	for _, p := range canonPerms {
+		for _, f := range canonFlips {
+			var w [3]float64
+			for i := 0; i < 3; i++ {
+				x := start[p[i]]
+				if f[i] {
+					x = mod2(-x)
+				}
+				w[i] = x
 			}
+			consider(w)
 		}
 	}
 	if !found {
@@ -327,29 +356,6 @@ func Canonicalize(c Coordinate) Coordinate {
 		return Coordinate{start[0], start[1], start[2]}
 	}
 	return best
-}
-
-// neighbors returns the images of v under the group generators, with
-// each coordinate reduced mod pi/2 into [0, pi/2).
-func neighbors(v [3]float64) [][3]float64 {
-	var out [][3]float64
-	add := func(a, b, c float64) {
-		out = append(out, [3]float64{mod2(a), mod2(b), mod2(c)})
-	}
-	x, y, z := v[0], v[1], v[2]
-	// Permutations (transpositions suffice to generate S3).
-	add(y, x, z)
-	add(x, z, y)
-	add(z, y, x)
-	// Pair sign flips.
-	add(-x, -y, z)
-	add(-x, y, -z)
-	add(x, -y, -z)
-	// Single pi/2 shifts (mod2 makes the +pi/2 and -pi/2 images equal).
-	add(x+halfPi, y, z)
-	add(x, y+halfPi, z)
-	add(x, y, z+halfPi)
-	return out
 }
 
 func mod2(v float64) float64 {
@@ -448,9 +454,10 @@ func MirrorPaper(p PaperCoordinate) PaperCoordinate {
 // measure used for coverage volumes and Haar scores.
 func HaarSample(rng *rand.Rand) Coordinate {
 	for {
-		u := linalg.RandSU(4, rng)
-		c, err := CoordinateOf(u)
-		if err == nil {
+		// CoordinateOfMat4 routes ill-conditioned draws through the
+		// reference path rather than erroring, which would bias the
+		// chamber measure; resample only on genuine failure.
+		if c, err := CoordinateOfMat4(linalg.RandSU4(rng)); err == nil {
 			return c
 		}
 	}
@@ -460,7 +467,14 @@ func HaarSample(rng *rand.Rand) Coordinate {
 // unitaries are locally equivalent (as SU(4) representatives) iff their
 // sorted spectra agree. Exposed for tests.
 func SortedSpectrum(u *linalg.Matrix) ([4]complex128, error) {
-	spec, err := gammaSpectrum(u)
+	var spec [4]complex128
+	var err error
+	if u.Rows == 4 && u.Cols == 4 {
+		spec, err = gammaSpectrumMat4(linalg.Mat4From(u))
+	}
+	if err != nil || u.Rows != 4 || u.Cols != 4 {
+		spec, err = gammaSpectrum(u)
+	}
 	if err != nil {
 		return spec, err
 	}
