@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -59,6 +61,8 @@ func main() {
 		coverFile = flag.String("coverage-file", "", "persistent coverage-set library: loaded at startup, saved at exit (skips the empirical polytope rebuilds)")
 		jsonPath  = flag.String("json", "BENCH_routing.json", "machine-readable fig-12 results file (empty = disabled)")
 		kernels   = flag.Bool("kernels", false, "run the numeric-kernel -benchmem lane and record it in the results file")
+		patSweep  = flag.String("patience-sweep", "", "comma-separated ConvergencePatience values to sweep on the suite (e.g. \"0,2,5,8,12\"); runs the sweep instead of -fig")
+		patJSON   = flag.String("patience-json", "BENCH_patience.json", "machine-readable patience-sweep results file (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -98,6 +102,12 @@ func main() {
 	}
 	rc.kernels = *kernels
 
+	if *patSweep != "" {
+		runPatienceSweep(rc, pickTopo(*topoName), *quick, *patSweep, *patJSON)
+		saveCaches(rc, *cacheFile, saveCoverage, *coverFile)
+		return
+	}
+
 	switch *fig {
 	case "table3":
 		runTable3()
@@ -112,20 +122,95 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *cacheFile != "" {
-		if err := rc.cache.SaveFile(*cacheFile); err != nil {
-			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *cacheFile, err)
+	saveCaches(rc, *cacheFile, saveCoverage, *coverFile)
+}
+
+func saveCaches(rc *runConfig, cacheFile string, saveCoverage func() error, coverFile string) {
+	if cacheFile != "" {
+		if err := rc.cache.SaveFile(cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "saving %s: %v\n", cacheFile, err)
 			os.Exit(1)
 		}
 		fmt.Printf("cost cache: saved %d entries to %s (hit rate %.1f%%)\n",
-			rc.cache.Len(), *cacheFile, 100*rc.cache.HitRate())
+			rc.cache.Len(), cacheFile, 100*rc.cache.HitRate())
 	}
 	if saveCoverage != nil {
 		if err := saveCoverage(); err != nil {
-			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *coverFile, err)
+			fmt.Fprintf(os.Stderr, "saving %s: %v\n", coverFile, err)
 			os.Exit(1)
 		}
-		fmt.Printf("coverage sets: saved library to %s\n", *coverFile)
+		fmt.Printf("coverage sets: saved library to %s\n", coverFile)
+	}
+}
+
+// runPatienceSweep measures the quality/throughput trade of the
+// adaptive trial scheduler: for each ConvergencePatience value it runs
+// the MIRAGE-Depth pipeline over the suite and aggregates summed depth
+// against executed trials, relative to the patience=0 full grid. Both
+// depth and trial counts are seed-deterministic (the stop rule is
+// defined on trial indices), so rows are comparable across machines.
+func runPatienceSweep(rc *runConfig, topo *topology.Topology, quick bool, spec, jsonPath string) {
+	var values []int
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 0 {
+			fmt.Fprintf(os.Stderr, "bad -patience-sweep value %q\n", f)
+			os.Exit(1)
+		}
+		values = append(values, v)
+	}
+	entries := suite(quick)
+	fmt.Printf("ConvergencePatience sweep on %s (%dx%d trials, %d circuits)\n",
+		topo.Name, rc.layout.LayoutTrials, rc.layout.RoutingTrials, len(entries))
+	fmt.Printf("%-9s | %12s %9s | %9s %9s %7s | %9s\n",
+		"patience", "depth-sum", "vs-full", "executed", "budgeted", "saved", "wall")
+
+	file := &bench.PatienceSweepFile{
+		Topology:      topo.Name,
+		Seed:          rc.layout.Seed,
+		LayoutTrials:  rc.layout.LayoutTrials,
+		RoutingTrials: rc.layout.RoutingTrials,
+	}
+	for _, e := range entries {
+		file.Circuits = append(file.Circuits, e.Name)
+	}
+	var fullDepth float64
+	for vi, p := range values {
+		rcp := *rc
+		rcp.patience = p
+		var row bench.PatienceSweepRow
+		row.Patience = p
+		start := time.Now()
+		for _, e := range entries {
+			rep := transpileOne(e.Build(), topo, transpile.MIRAGE, true, nil, &rcp)
+			row.DepthPulsesSum += rep.DepthPulses
+			row.TrialsExecuted += rep.TrialsExecuted
+			row.TrialsBudgeted += rep.TrialsBudgeted
+		}
+		row.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		if vi == 0 && p != 0 {
+			fmt.Fprintln(os.Stderr, "note: first sweep value is not 0; depth_regress_pct is relative to it")
+		}
+		if vi == 0 {
+			fullDepth = row.DepthPulsesSum
+		}
+		if fullDepth > 0 {
+			row.DepthRegressPct = 100 * (row.DepthPulsesSum - fullDepth) / fullDepth
+		}
+		if row.TrialsBudgeted > 0 {
+			row.TrialsSavedPct = 100 * float64(row.TrialsBudgeted-row.TrialsExecuted) / float64(row.TrialsBudgeted)
+		}
+		file.Rows = append(file.Rows, row)
+		fmt.Printf("%-9d | %12.1f %+8.2f%% | %9d %9d %6.1f%% | %7.0fms\n",
+			p, row.DepthPulsesSum, row.DepthRegressPct,
+			row.TrialsExecuted, row.TrialsBudgeted, row.TrialsSavedPct, row.WallMS)
+	}
+	if jsonPath != "" {
+		if err := file.WriteFile(jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", jsonPath, len(file.Rows))
 	}
 }
 

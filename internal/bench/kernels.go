@@ -1,13 +1,16 @@
 package bench
 
-// The numeric-kernel benchmark lane (ISSUE 3 satellite): ns/op and
-// allocs/op for the hot kernels of the decomposition substrate —
-// Weyl-coordinate extraction (fast and reference), warm-cache block
-// consolidation, and KAK — recorded into BENCH_routing.json next to
-// the routing rows and diffed by cmd/benchdiff, so an allocation
-// regression on the hot path fails CI as visibly as a depth
+// The numeric-kernel and routing -benchmem lane: ns/op and allocs/op
+// for the hot kernels of the decomposition substrate — Weyl-coordinate
+// extraction (fast and reference), warm-cache block consolidation, KAK
+// (generic and value-type KAK4) — and for the routing trial engine
+// (steady-state arena trials via sabre.TrialRunner, and a full
+// FindBestRouting grid), recorded into BENCH_routing.json next to the
+// routing rows and diffed by cmd/benchdiff, so an allocation
+// regression on either hot path fails CI as visibly as a depth
 // regression would. Alloc counts are deterministic for deterministic
-// code; wall times are context for the reader.
+// code (the routing rows run the serial scheduler for exactly that
+// reason); wall times are context for the reader.
 
 import (
 	"fmt"
@@ -16,9 +19,31 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/decompose"
+	"repro/internal/gates"
 	"repro/internal/linalg"
+	"repro/internal/sabre"
+	"repro/internal/topology"
 	"repro/internal/weyl"
 )
+
+// routingFixture builds the deterministic (topology, circuit, layout)
+// triple shared by the routing benchmark rows: a 4x4 grid with a
+// 2Q-heavy random circuit, the regime where trial throughput is the
+// binding cost.
+func routingFixture() (*topology.Topology, *circuit.Circuit, *topology.Layout) {
+	topo := topology.Grid(4, 4)
+	rng := rand.New(rand.NewSource(41))
+	c := circuit.New("bench-routing", 16)
+	for g := 0; g < 60; g++ {
+		a, b := rng.Intn(16), rng.Intn(16)
+		if a == b {
+			continue
+		}
+		c.Add(gates.CX(), a, b)
+	}
+	layout := topology.TrivialLayout(16, 16)
+	return topo, c, layout
+}
 
 // KernelRow is one numeric-kernel measurement.
 type KernelRow struct {
@@ -80,6 +105,58 @@ func RunKernelBenchmarks() ([]KernelRow, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := decompose.KAK(targets[i%len(targets)], kakRng); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"decompose/KAK4", func(b *testing.B) error {
+			kakRng := rand.New(rand.NewSource(272))
+			mats := make([]linalg.Mat4, len(targets))
+			for i, m := range targets {
+				mats[i] = linalg.Mat4From(m)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := decompose.KAK4(mats[i%len(mats)], kakRng); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"sabre/RouteArena", func(b *testing.B) error {
+			topo, c, layout := routingFixture()
+			runner, err := sabre.NewTrialRunner(c, topo)
+			if err != nil {
+				return err
+			}
+			// One warmup trial grows the arena to its high-water mark so
+			// the timed loop measures the steady state.
+			if _, err := runner.Run(layout, sabre.Options{}, 1, nil); err != nil {
+				return err
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(layout, sabre.Options{}, int64(i%16)+1, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"sabre/FindBestRouting", func(b *testing.B) error {
+			topo, c, _ := routingFixture()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Serial scheduler: the parallel path's channel/goroutine
+				// bookkeeping would make allocs/op scheduling-dependent,
+				// and the gate needs a deterministic count.
+				if _, err := sabre.FindBestRouting(c, topo, sabre.LayoutOptions{
+					LayoutTrials: 4, RoutingTrials: 4, FwdBwdPasses: 2, Seed: 3,
+					Parallelism: 1,
+				}, sabre.SwapCountMetric, nil); err != nil {
 					return err
 				}
 			}

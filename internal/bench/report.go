@@ -56,6 +56,44 @@ type RoutingBenchFile struct {
 	Kernels []KernelRow `json:"kernels,omitempty"`
 }
 
+// PatienceSweepRow aggregates one ConvergencePatience setting over a
+// circuit suite: summed polytope-weighted depth (the quality signal),
+// executed-vs-budgeted trial counts (the savings signal) and wall
+// time. Depth and trial counts are seed-deterministic; wall time is
+// hardware context.
+type PatienceSweepRow struct {
+	Patience       int     `json:"patience"`
+	DepthPulsesSum float64 `json:"depth_pulses_sum"`
+	// DepthRegressPct is the summed-depth change relative to the
+	// patience=0 full grid (positive = worse).
+	DepthRegressPct float64 `json:"depth_regress_pct"`
+	TrialsExecuted  int     `json:"trials_executed"`
+	TrialsBudgeted  int     `json:"trials_budgeted"`
+	TrialsSavedPct  float64 `json:"trials_saved_pct"`
+	WallMS          float64 `json:"wall_ms"`
+}
+
+// PatienceSweepFile is the BENCH_patience.json document written by
+// benchsuite -patience-sweep, the data behind the ConvergencePatience
+// default recorded in ROADMAP.
+type PatienceSweepFile struct {
+	Topology      string             `json:"topology"`
+	Seed          int64              `json:"seed"`
+	LayoutTrials  int                `json:"layout_trials"`
+	RoutingTrials int                `json:"routing_trials"`
+	Circuits      []string           `json:"circuits"`
+	Rows          []PatienceSweepRow `json:"rows"`
+}
+
+// WriteFile renders the document as indented JSON at path.
+func (f *PatienceSweepFile) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // WriteFile renders the document as indented JSON at path.
 func (f *RoutingBenchFile) WriteFile(path string) error {
 	data, err := json.MarshalIndent(f, "", "  ")

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPatienceSweepFileRoundTrip checks the BENCH_patience.json schema
+// survives a write/read cycle (benchsuite writes it, tooling and the
+// ROADMAP tuning notes consume it).
+func TestPatienceSweepFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_patience.json")
+	in := &PatienceSweepFile{
+		Topology:      "square-6x6",
+		Seed:          1,
+		LayoutTrials:  20,
+		RoutingTrials: 20,
+		Circuits:      []string{"qft_n18", "wstate_n27"},
+		Rows: []PatienceSweepRow{
+			{Patience: 0, DepthPulsesSum: 2481, TrialsExecuted: 6000, TrialsBudgeted: 6000},
+			{Patience: 120, DepthPulsesSum: 2537, DepthRegressPct: 2.26,
+				TrialsExecuted: 2853, TrialsBudgeted: 6000, TrialsSavedPct: 52.5, WallMS: 3210},
+		},
+	}
+	if err := in.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out PatienceSweepFile
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Topology != in.Topology || len(out.Rows) != len(in.Rows) ||
+		out.Rows[1].Patience != 120 || out.Rows[1].TrialsExecuted != 2853 ||
+		out.Rows[1].DepthRegressPct != 2.26 {
+		t.Fatalf("round trip mangled the document: %+v", out)
+	}
+}
+
+// TestRoutingBenchFileKernelRows checks kernel rows (including the new
+// routing lane entries) survive the RoutingBenchFile round trip that
+// benchdiff's alloc gate depends on.
+func TestRoutingBenchFileKernelRows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_routing.json")
+	in := &RoutingBenchFile{
+		Topology: "square-6x6",
+		Kernels: []KernelRow{
+			{Name: "sabre/RouteArena", NsPerOp: 91857, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "sabre/FindBestRouting", NsPerOp: 3657140, AllocsPerOp: 893, BytesPerOp: 165104},
+		},
+	}
+	if err := in.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRoutingBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Kernels) != 2 || out.Kernels[0].Name != "sabre/RouteArena" ||
+		out.Kernels[0].AllocsPerOp != 0 || out.Kernels[1].AllocsPerOp != 893 {
+		t.Fatalf("kernel rows mangled: %+v", out.Kernels)
+	}
+}

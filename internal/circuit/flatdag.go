@@ -1,0 +1,228 @@
+package circuit
+
+// FlatDAG is the CSR (compressed sparse row) form of the wire
+// dependency graph: predecessor/successor adjacency packed into offset
+// + edge arrays with no per-node slices, maps or pointers. It exists
+// for the routing trial hot path — built once per FindBestRouting call
+// and shared read-only by every trial worker, it replaces the per-trial
+// BuildDAG rebuild (O(ops) allocations each) with an immutable
+// structure a FlatTraversal walks using caller-owned buffers.
+//
+// The edge multiset — including the duplicate edge a 2Q op shares with
+// a predecessor touching both of its qubits — is identical to DAG's,
+// and FlatTraversal reproduces Traversal's ready-set ordering exactly,
+// so routers built on either see the same execution schedule. The DAG
+// type remains the readable reference; the property tests in
+// flatdag_test.go pin FlatDAG to it.
+//
+// Ownership rules: a FlatDAG is immutable after BuildFlatDAG returns
+// and safe to share across goroutines without synchronisation; all
+// mutable traversal state lives in FlatTraversal values owned by one
+// goroutine each.
+type FlatDAG struct {
+	Circ   *Circuit
+	NumOps int
+
+	// CSR adjacency: predecessors of op i are Preds[PredOff[i]:PredOff[i+1]],
+	// successors are Succs[SuccOff[i]:SuccOff[i+1]]. Edge order matches
+	// DAG's append order (scan order over ops and their qubits).
+	PredOff []int32
+	Preds   []int32
+	SuccOff []int32
+	Succs   []int32
+
+	// InDeg is the initial in-degree of each op (counting duplicate
+	// edges, exactly like Traversal); Roots lists the in-degree-0 ops in
+	// index order (the initial front layer).
+	InDeg []int32
+	Roots []int32
+
+	// Q0/Q1 cache each op's qubits so traversal-driven hot loops avoid
+	// the Ops slice indirection: Q1 is -1 for single-qubit ops.
+	Q0, Q1 []int32
+}
+
+// BuildFlatDAG constructs the CSR dependency graph of c.
+func BuildFlatDAG(c *Circuit) *FlatDAG {
+	n := len(c.Ops)
+	d := &FlatDAG{
+		Circ:    c,
+		NumOps:  n,
+		PredOff: make([]int32, n+1),
+		SuccOff: make([]int32, n+1),
+		InDeg:   make([]int32, n),
+		Q0:      make([]int32, n),
+		Q1:      make([]int32, n),
+	}
+	last := make([]int, c.NumQubits)
+	for i := range last {
+		last[i] = -1
+	}
+	// Pass 1: count edges per op (duplicates included).
+	for i, op := range c.Ops {
+		d.Q0[i] = int32(op.Qubits[0])
+		d.Q1[i] = -1
+		if len(op.Qubits) > 1 {
+			d.Q1[i] = int32(op.Qubits[1])
+		}
+		for _, q := range op.Qubits {
+			if p := last[q]; p >= 0 {
+				d.PredOff[i+1]++
+				d.SuccOff[p+1]++
+			}
+			last[q] = i
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.PredOff[i+1] += d.PredOff[i]
+		d.SuccOff[i+1] += d.SuccOff[i]
+	}
+	d.Preds = make([]int32, d.PredOff[n])
+	d.Succs = make([]int32, d.SuccOff[n])
+	// Pass 2: fill in the same scan order DAG uses, so the slice
+	// contents match Preds[i]/Succs[p] element for element.
+	predNext := make([]int32, n)
+	succNext := make([]int32, n)
+	copy(predNext, d.PredOff[:n])
+	copy(succNext, d.SuccOff[:n])
+	for i := range last {
+		last[i] = -1
+	}
+	for i, op := range c.Ops {
+		for _, q := range op.Qubits {
+			if p := last[q]; p >= 0 {
+				d.Preds[predNext[i]] = int32(p)
+				predNext[i]++
+				d.Succs[succNext[p]] = int32(i)
+				succNext[p]++
+				d.InDeg[i]++
+			}
+			last[q] = i
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d.InDeg[i] == 0 {
+			d.Roots = append(d.Roots, int32(i))
+		}
+	}
+	return d
+}
+
+// PredsOf returns the predecessor list of op i (a view into the shared
+// edge array; do not mutate).
+func (d *FlatDAG) PredsOf(i int) []int32 { return d.Preds[d.PredOff[i]:d.PredOff[i+1]] }
+
+// SuccsOf returns the successor list of op i (a view into the shared
+// edge array; do not mutate).
+func (d *FlatDAG) SuccsOf(i int) []int32 { return d.Succs[d.SuccOff[i]:d.SuccOff[i+1]] }
+
+// FlatTraversal tracks incremental execution of a FlatDAG. Unlike
+// Traversal it owns growable scratch buffers that survive Reset, so a
+// trial arena can replay the same (or an equally sized) DAG over and
+// over with zero steady-state allocations. All methods are
+// single-goroutine; the underlying FlatDAG is shared read-only.
+type FlatTraversal struct {
+	D      *FlatDAG
+	Ready  []int32 // current front (ready, unexecuted), in Traversal order
+	Remain int
+
+	indeg []int32
+	// Descendants scratch: generation-stamped visited marks plus a BFS
+	// ring reused across calls (Reset bumps the generation instead of
+	// clearing the stamp array).
+	seen  []int32
+	gen   int32
+	queue []int32
+	desc  []int32
+}
+
+// NewFlatTraversal starts a traversal of d with freshly sized buffers.
+func (d *FlatDAG) NewFlatTraversal() *FlatTraversal {
+	t := &FlatTraversal{}
+	t.Reset(d)
+	return t
+}
+
+// Reset rebinds the traversal to d (which may differ from the previous
+// DAG) and rewinds it to the initial front layer. Buffers are reused
+// when large enough, so resetting to a same-or-smaller DAG allocates
+// nothing.
+func (t *FlatTraversal) Reset(d *FlatDAG) {
+	t.D = d
+	n := d.NumOps
+	if cap(t.indeg) < n {
+		t.indeg = make([]int32, n)
+		t.seen = make([]int32, n)
+		t.gen = 0
+	}
+	t.indeg = t.indeg[:n]
+	t.seen = t.seen[:n]
+	copy(t.indeg, d.InDeg)
+	t.Ready = append(t.Ready[:0], d.Roots...)
+	t.Remain = n
+}
+
+// Execute marks op i as done, removes it from the ready set (preserving
+// order) and appends any newly unblocked successors — the exact update
+// Traversal.Execute performs.
+func (t *FlatTraversal) Execute(i int) {
+	if t.indeg[i] != 0 {
+		panic("circuit: op executed before its dependencies")
+	}
+	t.indeg[i] = -1 // poisons double execution (decrements go negative)
+	t.Remain--
+	for k, r := range t.Ready {
+		if int(r) == i {
+			t.Ready = append(t.Ready[:k], t.Ready[k+1:]...)
+			break
+		}
+	}
+	for _, s := range t.D.SuccsOf(i) {
+		t.indeg[s]--
+		if t.indeg[s] == 0 {
+			t.Ready = append(t.Ready, s)
+		}
+	}
+}
+
+// Done reports whether every op has executed.
+func (t *FlatTraversal) Done() bool { return t.Remain == 0 }
+
+// Descendants returns up to limit op indices reachable from the ready
+// set in BFS order, excluding the ready ops themselves — SABRE's
+// extended (lookahead) set, in the exact order Traversal.Descendants
+// produces. The returned slice is owned by the traversal and valid
+// until the next Descendants call.
+func (t *FlatTraversal) Descendants(limit int) []int32 {
+	t.gen++
+	if t.gen == 0 { // generation counter wrapped: clear stamps once
+		// Full capacity, not current length: a later Reset to a larger
+		// DAG re-extends the slice, and stale stamps there must not
+		// alias a live generation.
+		full := t.seen[:cap(t.seen)]
+		for i := range full {
+			full[i] = 0
+		}
+		t.gen = 1
+	}
+	t.desc = t.desc[:0]
+	t.queue = append(t.queue[:0], t.Ready...)
+	for _, q := range t.queue {
+		t.seen[q] = t.gen
+	}
+	for head := 0; head < len(t.queue) && len(t.desc) < limit; head++ {
+		cur := t.queue[head]
+		for _, s := range t.D.SuccsOf(int(cur)) {
+			if t.seen[s] == t.gen {
+				continue
+			}
+			t.seen[s] = t.gen
+			t.desc = append(t.desc, s)
+			t.queue = append(t.queue, s)
+			if len(t.desc) >= limit {
+				break
+			}
+		}
+	}
+	return t.desc
+}

@@ -1,0 +1,154 @@
+package decompose
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/weyl"
+)
+
+// TestKAK4Reconstructs is the core property: the value-type
+// decomposition multiplies back to the input across Haar-random SU(4)
+// matrices, dressed Cliffords and local gates.
+func TestKAK4Reconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(331))
+	for trial := 0; trial < 40; trial++ {
+		u := linalg.RandSU4(rng)
+		d, err := KAK4(u, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !d.Reconstruct().EqualApprox(u, 1e-6) {
+			t.Fatalf("trial %d: reconstruction diverges (max diff %g)",
+				trial, d.Reconstruct().MaxAbsDiff(u))
+		}
+		for name, k := range map[string]linalg.Mat2{
+			"K1l": d.K1l, "K1r": d.K1r, "K2l": d.K2l, "K2r": d.K2r,
+		} {
+			if !k.IsUnitary(1e-6) {
+				t.Fatalf("trial %d: local factor %s is not unitary", trial, name)
+			}
+		}
+	}
+}
+
+// TestKAK4MatchesKAKCoordinates pins the fast path to the generic
+// reference: same input, same rng stream, identical canonical Weyl
+// coordinates (the decompositions themselves may differ by local-gate
+// conventions; the chamber representative is the invariant).
+func TestKAK4MatchesKAKCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(347))
+	for trial := 0; trial < 25; trial++ {
+		u := linalg.RandSU4(rng)
+		seed := rng.Int63()
+		d4, err := KAK4(u, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("trial %d: KAK4: %v", trial, err)
+		}
+		dg, err := KAK(u.ToMatrix(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("trial %d: KAK: %v", trial, err)
+		}
+		c4, cg := d4.CanonicalCoordinate(), dg.CanonicalCoordinate()
+		if !c4.ApproxEqual(cg, 1e-7) {
+			t.Fatalf("trial %d: coordinates diverge: fast %v, reference %v", trial, c4, cg)
+		}
+		// The Generic() conversion must reconstruct too.
+		if !dg.Reconstruct().EqualApprox(d4.Generic().Reconstruct(), 1e-6) {
+			t.Fatalf("trial %d: Generic() reconstruction diverges", trial)
+		}
+	}
+}
+
+// TestKronFactor4MatchesReference pins the fixed-size tensor split to
+// kronFactor on genuine tensor products and checks both reject a
+// maximally entangling non-product input.
+func TestKronFactor4MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(353))
+	randU2 := func() linalg.Mat2 {
+		// Haar-ish 2x2 unitary from a random SU(4)'s corner phases.
+		th, ph, la := rng.Float64()*6.28, rng.Float64()*6.28, rng.Float64()*6.28
+		c, s := complex(math.Cos(th/2), 0), complex(math.Sin(th/2), 0)
+		return linalg.Mat2{
+			c, -cmplx.Exp(complex(0, la)) * s,
+			cmplx.Exp(complex(0, ph)) * s, cmplx.Exp(complex(0, ph+la)) * c,
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		a, b := randU2(), randU2()
+		k := a.Kron(b)
+		fa, fb, ok := kronFactor4(k)
+		if !ok {
+			t.Fatalf("trial %d: kronFactor4 rejected a tensor product", trial)
+		}
+		ga, gb, err := kronFactor(k.ToMatrix())
+		if err != nil {
+			t.Fatalf("trial %d: kronFactor: %v", trial, err)
+		}
+		if !fa.ToMatrix().EqualApprox(ga, 1e-9) || !fb.ToMatrix().EqualApprox(gb, 1e-9) {
+			t.Fatalf("trial %d: factors diverge from reference", trial)
+		}
+		if !fa.Kron(fb).EqualApprox(k, 1e-9) {
+			t.Fatalf("trial %d: factor product diverges from input", trial)
+		}
+	}
+	// CNOT is not a tensor product: both must reject.
+	cnot := linalg.Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+		0, 0, 1, 0,
+	}
+	if _, _, ok := kronFactor4(cnot); ok {
+		t.Fatal("kronFactor4 accepted CNOT as a tensor product")
+	}
+	if _, _, err := kronFactor(cnot.ToMatrix()); err == nil {
+		t.Fatal("kronFactor accepted CNOT as a tensor product")
+	}
+}
+
+// TestKAK4AllocFree asserts the acceptance bar: zero heap allocations
+// end-to-end on well-conditioned SU(4) inputs.
+func TestKAK4AllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(359))
+	targets := make([]linalg.Mat4, 8)
+	for i := range targets {
+		targets[i] = linalg.RandSU4(rng)
+	}
+	kakRng := rand.New(rand.NewSource(7))
+	i := 0
+	allocs := testing.AllocsPerRun(64, func() {
+		if _, err := KAK4(targets[i%len(targets)], kakRng); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("KAK4 allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestKAK4CoordinateAgreesWithWeylFast cross-checks against the
+// closed-form coordinate extraction: two independent pipelines, one
+// invariant.
+func TestKAK4CoordinateAgreesWithWeylFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(367))
+	for trial := 0; trial < 20; trial++ {
+		u := linalg.RandSU4(rng)
+		d, err := KAK4(u, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := weyl.CoordinateOfMat4(u)
+		if err != nil {
+			t.Fatalf("trial %d: CoordinateOfMat4: %v", trial, err)
+		}
+		got := weyl.Canonicalize(weyl.Coordinate{X: d.X, Y: d.Y, Z: d.Z})
+		if !got.ApproxEqual(weyl.Canonicalize(want), 1e-6) {
+			t.Fatalf("trial %d: KAK4 coordinate %v, weyl fast %v", trial, got, want)
+		}
+	}
+}

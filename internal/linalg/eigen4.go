@@ -1,0 +1,182 @@
+package linalg
+
+// Fixed-size eigensolvers for 4x4 real symmetric matrices — the
+// orthogonal-factor split inside KAK. SymEigen/JointSymEigen remain
+// the generic reference implementations (arbitrary n, allocating);
+// the value-type variants below run the same cyclic Jacobi iteration
+// on stack arrays with zero heap allocations, and the property tests
+// in eigen4_test.go pin them to the reference.
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RMat4 is a 4x4 real matrix stored row-major by value.
+type RMat4 [16]float64
+
+// At returns element (i, j).
+func (m RMat4) At(i, j int) float64 { return m[i*4+j] }
+
+// Transpose returns m^T.
+func (m RMat4) Transpose() RMat4 {
+	var r RMat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r[j*4+i] = m[i*4+j]
+		}
+	}
+	return r
+}
+
+// Mul returns m * o.
+func (m RMat4) Mul(o RMat4) RMat4 {
+	var r RMat4
+	for i := 0; i < 4; i++ {
+		ri := i * 4
+		a0, a1, a2, a3 := m[ri], m[ri+1], m[ri+2], m[ri+3]
+		r[ri+0] = a0*o[0] + a1*o[4] + a2*o[8] + a3*o[12]
+		r[ri+1] = a0*o[1] + a1*o[5] + a2*o[9] + a3*o[13]
+		r[ri+2] = a0*o[2] + a1*o[6] + a2*o[10] + a3*o[14]
+		r[ri+3] = a0*o[3] + a1*o[7] + a2*o[11] + a3*o[15]
+	}
+	return r
+}
+
+// ToMat4 lifts m to a complex Mat4 (zero imaginary parts).
+func (m RMat4) ToMat4() Mat4 {
+	var r Mat4
+	for i, v := range m {
+		r[i] = complex(v, 0)
+	}
+	return r
+}
+
+// RealMat4 extracts the elementwise real part of a Mat4.
+func RealMat4(m Mat4) RMat4 {
+	var r RMat4
+	for i, v := range m {
+		r[i] = real(v)
+	}
+	return r
+}
+
+// ImagMat4 extracts the elementwise imaginary part of a Mat4.
+func ImagMat4(m Mat4) RMat4 {
+	var r RMat4
+	for i, v := range m {
+		r[i] = imag(v)
+	}
+	return r
+}
+
+// maxOffDiag4 returns the largest |m_ij|, i != j.
+func maxOffDiag4(m RMat4) float64 {
+	var d float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if v := math.Abs(m[i*4+j]); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// SymEigen4 diagonalises a 4x4 real symmetric matrix with the same
+// cyclic Jacobi iteration as SymEigen (same sweep order, rotation
+// formulas and convergence thresholds), entirely on value types. It
+// returns the eigenvalues (diagonal of V^T A V) and the accumulated
+// orthogonal V.
+func SymEigen4(a RMat4) (vals [4]float64, v RMat4) {
+	w := a
+	v = RMat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				s += w[i*4+j] * w[i*4+j]
+			}
+		}
+		return s
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps && offDiag() > 1e-26; sweep++ {
+		for p := 0; p < 3; p++ {
+			for q := p + 1; q < 4; q++ {
+				apq := w[p*4+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w[p*4+p], w[q*4+q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				for k := 0; k < 4; k++ {
+					wkp, wkq := w[k*4+p], w[k*4+q]
+					w[k*4+p] = c*wkp - s*wkq
+					w[k*4+q] = s*wkp + c*wkq
+				}
+				for k := 0; k < 4; k++ {
+					wpk, wqk := w[p*4+k], w[q*4+k]
+					w[p*4+k] = c*wpk - s*wqk
+					w[q*4+k] = s*wpk + c*wqk
+				}
+				for k := 0; k < 4; k++ {
+					vkp, vkq := v[k*4+p], v[k*4+q]
+					v[k*4+p] = c*vkp - s*vkq
+					v[k*4+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		vals[i] = w[i*4+i]
+	}
+	return vals, v
+}
+
+// JointSymEigen4 simultaneously diagonalises two commuting 4x4 real
+// symmetric matrices, mirroring JointSymEigen: diagonalise the random
+// combination X + t Y (which generically splits all joint
+// eigenspaces), retrying with fresh t until the off-diagonal residue
+// of both conjugated matrices is small. Allocation-free; rng supplies
+// the combination coefficients exactly as in the reference.
+func JointSymEigen4(x, y RMat4, rng *rand.Rand) (xvals, yvals [4]float64, v RMat4, ok bool) {
+	for attempt := 0; attempt < 24; attempt++ {
+		t := 0.1 + rng.Float64()
+		if attempt%2 == 1 {
+			t = -t
+		}
+		var comb RMat4
+		for i := range comb {
+			comb[i] = x[i] + t*y[i]
+		}
+		_, cand := SymEigen4(comb)
+		ct := cand.Transpose()
+		dx := ct.Mul(x).Mul(cand)
+		dy := ct.Mul(y).Mul(cand)
+		if maxOffDiag4(dx) < 1e-8 && maxOffDiag4(dy) < 1e-8 {
+			for i := 0; i < 4; i++ {
+				xvals[i] = dx[i*4+i]
+				yvals[i] = dy[i*4+i]
+			}
+			return xvals, yvals, cand, true
+		}
+	}
+	return xvals, yvals, v, false
+}

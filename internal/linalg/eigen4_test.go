@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSym4 draws a random 4x4 real symmetric matrix.
+func randSym4(rng *rand.Rand) RMat4 {
+	var m RMat4
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			v := rng.NormFloat64()
+			m[i*4+j] = v
+			m[j*4+i] = v
+		}
+	}
+	return m
+}
+
+// rmat4ToMatrix lifts an RMat4 to the generic complex Matrix.
+func rmat4ToMatrix(m RMat4) *Matrix {
+	out := New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out.Set(i, j, complex(m.At(i, j), 0))
+		}
+	}
+	return out
+}
+
+// TestSymEigen4MatchesReference pins the fixed-size Jacobi to the
+// generic SymEigen: same iteration, so eigenvalues and eigenvectors
+// agree bit-for-bit, and the decomposition property A = V D V^T holds.
+func TestSymEigen4MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		a := randSym4(rng)
+		vals, v := SymEigen4(a)
+		refVals, refV := SymEigen(rmat4ToMatrix(a))
+		for i := 0; i < 4; i++ {
+			if vals[i] != refVals[i] {
+				t.Fatalf("trial %d: eigenvalue %d = %v, reference %v", trial, i, vals[i], refVals[i])
+			}
+			for j := 0; j < 4; j++ {
+				if v.At(i, j) != real(refV.At(i, j)) {
+					t.Fatalf("trial %d: V[%d][%d] = %v, reference %v", trial, i, j, v.At(i, j), refV.At(i, j))
+				}
+			}
+		}
+		// Independent correctness: V^T A V is diag(vals).
+		d := v.Transpose().Mul(a).Mul(v)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				want := 0.0
+				if i == j {
+					want = vals[i]
+				}
+				if math.Abs(d.At(i, j)-want) > 1e-9 {
+					t.Fatalf("trial %d: (V^T A V)[%d][%d] = %g, want %g", trial, i, j, d.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+// TestJointSymEigen4MatchesReference checks the fixed-size joint
+// diagonaliser against JointSymEigen on commuting pairs built from a
+// shared eigenbasis, with identical rng streams (the retry/combination
+// schedule is part of the contract).
+func TestJointSymEigen4MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		// Commuting pair: X = V Dx V^T, Y = V Dy V^T for orthogonal V.
+		_, v := SymEigen4(randSym4(rng))
+		var dx, dy RMat4
+		for i := 0; i < 4; i++ {
+			dx[i*4+i] = rng.NormFloat64()
+			dy[i*4+i] = rng.NormFloat64()
+		}
+		vt := v.Transpose()
+		x := v.Mul(dx).Mul(vt)
+		y := v.Mul(dy).Mul(vt)
+		// Symmetrise away rounding asymmetry.
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				m := (x[i*4+j] + x[j*4+i]) / 2
+				x[i*4+j], x[j*4+i] = m, m
+				m = (y[i*4+j] + y[j*4+i]) / 2
+				y[i*4+j], y[j*4+i] = m, m
+			}
+		}
+
+		seed := rng.Int63()
+		xv, yv, q, ok := JointSymEigen4(x, y, rand.New(rand.NewSource(seed)))
+		refXV, refYV, refQ, refOK := JointSymEigen(rmat4ToMatrix(x), rmat4ToMatrix(y),
+			rand.New(rand.NewSource(seed)))
+		if ok != refOK {
+			t.Fatalf("trial %d: ok=%v, reference %v", trial, ok, refOK)
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < 4; i++ {
+			if xv[i] != refXV[i] || yv[i] != refYV[i] {
+				t.Fatalf("trial %d: joint eigenvalues diverge from reference", trial)
+			}
+			for j := 0; j < 4; j++ {
+				if q.At(i, j) != real(refQ.At(i, j)) {
+					t.Fatalf("trial %d: eigenbasis diverges from reference", trial)
+				}
+			}
+		}
+		// Independent correctness: both conjugations diagonal.
+		qt := q.Transpose()
+		for _, pair := range []struct {
+			m    RMat4
+			want [4]float64
+		}{{x, xv}, {y, yv}} {
+			d := qt.Mul(pair.m).Mul(q)
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					want := 0.0
+					if i == j {
+						want = pair.want[i]
+					}
+					if math.Abs(d.At(i, j)-want) > 1e-7 {
+						t.Fatalf("trial %d: conjugation not diagonal at (%d,%d)", trial, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJointSymEigen4AllocFree asserts the fixed-size path performs
+// zero heap allocations — the point of the port.
+func TestJointSymEigen4AllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	_, v := SymEigen4(randSym4(rng))
+	var dx, dy RMat4
+	for i := 0; i < 4; i++ {
+		dx[i*4+i] = float64(i + 1)
+		dy[i*4+i] = float64(3 - i)
+	}
+	vt := v.Transpose()
+	x := v.Mul(dx).Mul(vt)
+	y := v.Mul(dy).Mul(vt)
+	jrng := rand.New(rand.NewSource(5))
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, _, ok := JointSymEigen4(x, y, jrng); !ok {
+			t.Fatal("joint diagonalisation failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("JointSymEigen4 allocates %v times per run, want 0", allocs)
+	}
+}

@@ -192,7 +192,10 @@ func DepthMetric(cov *polytope.CoverageSet) sabre.Metric {
 }
 
 // DepthMetricWithCache is DepthMetric with a shared cost cache; nil
-// allocates a fresh one.
+// allocates a fresh one. The metric honours the sabre.Metric contract:
+// it is a pure function of the Result's contents and retains nothing,
+// so FindBestRouting may evaluate it on arena-backed Results that are
+// recycled after the call.
 func DepthMetricWithCache(cov *polytope.CoverageSet, cache *polytope.CostCache) sabre.Metric {
 	w := GateWeight(cov, cache)
 	return func(r *sabre.Result) float64 {

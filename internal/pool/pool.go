@@ -33,6 +33,20 @@ func Size(n int) int {
 // stopped at, fn being deterministic per index — is always the one
 // reported).
 func ForEach(parallelism, n int, fn func(i int) error) error {
+	return ForEachWith(parallelism, n,
+		func(int) struct{} { return struct{}{} },
+		func(i int, _ struct{}) error { return fn(i) })
+}
+
+// ForEachWith is ForEach with per-worker scratch state: scratch(w) runs
+// once inside each worker goroutine (w in [0, workers)) before it
+// processes any index, and the value it returns is handed to every fn
+// call that worker executes. This is the reuse hook heavy fan-outs need
+// — a routing trial arena, a scored-candidate buffer — without any
+// sync.Pool churn or cross-goroutine handoff: scratch values are owned
+// by exactly one goroutine for the whole run. On the serial path
+// scratch(0) is called once.
+func ForEachWith[S any](parallelism, n int, scratch func(w int) S, fn func(i int, s S) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -41,8 +55,9 @@ func ForEach(parallelism, n int, fn func(i int) error) error {
 		parallelism = n
 	}
 	if parallelism == 1 {
+		s := scratch(0)
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(i, s); err != nil {
 				return err
 			}
 		}
@@ -56,13 +71,14 @@ func ForEach(parallelism, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(parallelism)
 	for w := 0; w < parallelism; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			s := scratch(w)
 			for i := range next {
 				if int64(i) > failed.Load() {
 					continue
 				}
-				if err := fn(i); err != nil {
+				if err := fn(i, s); err != nil {
 					errs[i] = err
 					for {
 						cur := failed.Load()
@@ -72,7 +88,7 @@ func ForEach(parallelism, n int, fn func(i int) error) error {
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		if int64(i) > failed.Load() {

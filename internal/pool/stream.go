@@ -28,6 +28,24 @@ import "sync"
 // With parallelism <= 1 the stream degenerates to the plain serial
 // loop: run(0), consume(0), run(1), consume(1), ...
 func Stream[T any](parallelism, max int, run func(i int) (T, error), consume func(i int, v T) (stop bool)) error {
+	return StreamWith(parallelism, max,
+		func(int) struct{} { return struct{}{} },
+		func(i int, _ struct{}) (T, error) { return run(i) },
+		consume)
+}
+
+// StreamWith is Stream with per-worker scratch state: scratch(w) runs
+// once inside each worker goroutine (w in [0, workers)) and its value
+// is passed to every run call that worker executes. Because a scratch
+// value never crosses goroutines, a worker can keep arbitrarily
+// mutable reusable state in it — the routing trial arena is the
+// canonical client: one arena per worker, reset per trial, reused
+// across the whole adaptive schedule. Results returned by run must not
+// alias scratch state if consume retains them (the stream consumes in
+// index order, so the worker may already be mutating its scratch for a
+// later trial by the time an earlier result is consumed). On the
+// serial path scratch(0) is called once.
+func StreamWith[S, T any](parallelism, max int, scratch func(w int) S, run func(i int, s S) (T, error), consume func(i int, v T) (stop bool)) error {
 	if max <= 0 {
 		return nil
 	}
@@ -36,8 +54,9 @@ func Stream[T any](parallelism, max int, run func(i int) (T, error), consume fun
 		parallelism = max
 	}
 	if parallelism == 1 {
+		s := scratch(0)
 		for i := 0; i < max; i++ {
-			v, err := run(i)
+			v, err := run(i, s)
 			if err != nil {
 				return err
 			}
@@ -61,13 +80,14 @@ func Stream[T any](parallelism, max int, run func(i int) (T, error), consume fun
 	var wg sync.WaitGroup
 	wg.Add(parallelism)
 	for w := 0; w < parallelism; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			s := scratch(w)
 			for i := range next {
-				v, err := run(i)
+				v, err := run(i, s)
 				results <- item{i: i, v: v, err: err}
 			}
-		}()
+		}(w)
 	}
 
 	var (

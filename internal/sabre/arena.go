@@ -1,0 +1,292 @@
+package sabre
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/topology"
+	"repro/internal/weyl"
+)
+
+// routerSwapGate is the shared immutable SWAP gate the router emits;
+// gates.SWAP() builds a fresh matrix per call, which would be the last
+// per-swap allocation on the arena path. Gates are immutable by
+// convention, so one instance serves every trial.
+var routerSwapGate = gates.SWAP()
+
+// trialArena owns every mutable buffer one routing trial needs: the
+// engine state (routingState — traversal, layout, decay, pair caches,
+// candidate dedup stamps, score scratch), the reusable routed-op
+// buffer, the layout copies a Result exposes, the per-trial RNG, and a
+// pre-bound MirrorContext whose cost closures are allocated once per
+// arena instead of once per decision.
+//
+// Ownership rules (the seam the distributed trial queue will build on):
+// the circuit.FlatDAG and Topology a trial reads are immutable and
+// shared across any number of arenas; the arena itself is single-
+// goroutine and everything a route call returns — the Result, its
+// Routed circuit, its layouts — aliases arena buffers and is valid
+// only until the next route call on the same arena. Steady-state reuse
+// performs O(1) heap allocations per trial (the policy's decision
+// objects and mirror-gate materialisation excepted: a mirror
+// substitution builds a fresh custom gate by design).
+type trialArena struct {
+	st  routingState
+	out circuit.Circuit // reusable routed circuit (ops + qubit slices reused)
+
+	initLayout topology.Layout // copy of the trial's initial layout
+	h1, h2     topology.Layout // layout handoff buffers (fwd/bwd refinement)
+
+	res Result
+	ctx MirrorContext
+	rng *rand.Rand
+
+	outFor *circuit.Circuit // routed-name cache: out.Name is rebuilt only when the circuit changes
+}
+
+// newTrialArena builds an empty arena. Buffers grow on first use and
+// are reused afterwards; binding the same (or a smaller) circuit and
+// topology again allocates nothing.
+func newTrialArena() *trialArena {
+	a := &trialArena{rng: rand.New(rand.NewSource(1))}
+	// The cost evaluators close over the embedded routing state once;
+	// per-decision rebinding is two int stores (mirrorA/mirrorB).
+	a.ctx.RoutingCost = a.st.mirrorCostAt
+	a.ctx.RoutingCostSwap = a.st.mirrorCostSwap
+	return a
+}
+
+// nextOp extends the reusable op buffer by one slot, recycling the
+// slot's previous qubit slice.
+func (a *trialArena) nextOp() *circuit.Op {
+	n := len(a.out.Ops)
+	if n < cap(a.out.Ops) {
+		a.out.Ops = a.out.Ops[:n+1]
+	} else {
+		a.out.Ops = append(a.out.Ops, circuit.Op{})
+	}
+	return &a.out.Ops[n]
+}
+
+// emit1 appends a single-qubit op on physical wire q.
+func (a *trialArena) emit1(g gates.Gate, q int) {
+	op := a.nextOp()
+	qs := op.Qubits
+	if cap(qs) < 1 {
+		qs = make([]int, 1)
+	}
+	qs = qs[:1]
+	qs[0] = q
+	*op = circuit.Op{Gate: g, Qubits: qs}
+}
+
+// emit2 appends a two-qubit op on physical wires (qa, qb).
+func (a *trialArena) emit2(g gates.Gate, qa, qb int, coord *weyl.Coordinate, mirrored, routerSwap bool) {
+	op := a.nextOp()
+	qs := op.Qubits
+	if cap(qs) < 2 {
+		qs = make([]int, 2)
+	}
+	qs = qs[:2]
+	qs[0], qs[1] = qa, qb
+	*op = circuit.Op{Gate: g, Qubits: qs, Coord: coord, Mirrored: mirrored, RouterSwap: routerSwap}
+}
+
+// route runs one SABRE routing trial of fd's circuit over the arena,
+// starting from initial. The returned Result aliases arena buffers:
+// it is valid until the next route call and must be cloned (or
+// replayed on a fresh arena) to outlive it. The caller is responsible
+// for having validated the circuit/topology pair once (validateRoutable).
+//
+// The loop is bit-identical to RouteReference: same execution schedule
+// (FlatTraversal reproduces the naive traversal order), same candidate
+// enumeration order, same score comparisons and tie-breaking RNG
+// consumption.
+func (a *trialArena) route(fd *circuit.FlatDAG, topo *topology.Topology, initial *topology.Layout,
+	opts Options, rng *rand.Rand, policy MirrorPolicy) (*Result, error) {
+
+	opts = opts.WithDefaults()
+	c := fd.Circ
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 10000 + 100*len(c.Ops)
+	}
+
+	st := &a.st
+	st.bind(fd, topo, initial, opts)
+	if a.outFor != c {
+		a.out.Name = c.Name + "_routed"
+		a.outFor = c
+	}
+	a.out.NumQubits = topo.NumQubits
+	a.out.Ops = a.out.Ops[:0]
+	a.initLayout.CopyFrom(initial)
+	a.res = Result{InitialLayout: &a.initLayout}
+	a.ctx.Topo = topo
+	a.ctx.Layout = &st.layout
+
+	steps := 0
+	for !st.tr.Done() {
+		// Execute everything currently executable.
+		progress := true
+		for progress {
+			progress = false
+			st.readySnap = append(st.readySnap[:0], st.tr.Ready...)
+			for _, idx32 := range st.readySnap {
+				idx := int(idx32)
+				op := c.Ops[idx]
+				switch len(op.Qubits) {
+				case 1:
+					a.emit1(op.Gate, st.layout.Phys(op.Qubits[0]))
+					st.execute(idx)
+					progress = true
+				case 2:
+					pa, pb := st.layout.Phys(op.Qubits[0]), st.layout.Phys(op.Qubits[1])
+					if !topo.HasEdge(pa, pb) {
+						continue
+					}
+					mirrored := false
+					if policy != nil {
+						st.prepareMirror(idx)
+						st.mirrorA, st.mirrorB = pa, pb
+						a.ctx.Op = op
+						a.ctx.PhysA, a.ctx.PhysB = pa, pb
+						mirrored = policy.Decide(&a.ctx)
+					}
+					g, coord := op.Gate, op.Coord
+					if mirrored {
+						m := gates.SWAP().Matrix().Mul(op.Gate.Matrix())
+						g = gates.NewCustom(op.Gate.Name+"'", 2, m)
+						coord = nil // stale: the mirror has a new coordinate
+						a.res.MirrorsUsed++
+					}
+					a.emit2(g, pa, pb, coord, mirrored, false)
+					a.res.TwoQubitGates++
+					if mirrored {
+						st.applyMirrorSwap(pa, pb)
+					}
+					st.execute(idx)
+					st.resetDecay()
+					progress = true
+				}
+			}
+		}
+		if st.tr.Done() {
+			break
+		}
+
+		// Stalled: refresh the pair caches if gates executed since the
+		// last stall, then score every candidate by delta and select
+		// serially (identical comparisons and RNG consumption to the
+		// reference, so the chosen SWAP sequence is bit-identical).
+		st.refresh()
+		candidates := st.collectCandidates()
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("sabre: stalled with no swap candidates (disconnected topology?)")
+		}
+		scores := st.scoreCandidates(candidates, opts.ScoreWorkers)
+		bestScore := 0.0
+		bestIdx := -1
+		for i := range candidates {
+			score := scores[i]
+			if bestIdx < 0 || score < bestScore-1e-12 ||
+				(score < bestScore+1e-12 && rng.Intn(2) == 0) {
+				bestScore, bestIdx = score, i
+			}
+		}
+		chosen := candidates[bestIdx]
+		a.emit2(routerSwapGate, chosen.a, chosen.b, nil, false, true)
+		st.applySwap(chosen.a, chosen.b)
+		a.res.SwapsInserted++
+		st.decay[chosen.a] += opts.DecayRate
+		st.decay[chosen.b] += opts.DecayRate
+		steps++
+		if steps%opts.DecayResetInterval == 0 {
+			st.resetDecay()
+		}
+		if steps > maxSteps {
+			return nil, fmt.Errorf("sabre: exceeded %d swap insertions; routing diverged", maxSteps)
+		}
+	}
+
+	a.res.Routed = &a.out
+	a.res.FinalLayout = &st.layout
+	return &a.res, nil
+}
+
+// validateRoutable performs the once-per-circuit checks the trial loop
+// assumes: arity <= 2 and enough physical qubits.
+func validateRoutable(c *circuit.Circuit, topo *topology.Topology) error {
+	if c.NumQubits > topo.NumQubits {
+		return fmt.Errorf("sabre: circuit needs %d qubits, topology has %d", c.NumQubits, topo.NumQubits)
+	}
+	for _, op := range c.Ops {
+		if len(op.Qubits) > 2 {
+			return fmt.Errorf("sabre: op %s has arity > 2; unroll first", op.Gate.String())
+		}
+	}
+	return nil
+}
+
+// projectLayoutInto restricts a (possibly larger) layout to the first
+// numLogical logical qubits, writing into dst's reusable buffers.
+func projectLayoutInto(dst, src *topology.Layout, numLogical int) {
+	dst.L2P = append(dst.L2P[:0], src.L2P[:numLogical]...)
+	if cap(dst.P2L) < len(src.P2L) {
+		dst.P2L = make([]int, len(src.P2L))
+	}
+	dst.P2L = dst.P2L[:len(src.P2L)]
+	for i := range dst.P2L {
+		dst.P2L[i] = -1
+	}
+	for l, p := range dst.L2P {
+		dst.P2L[p] = l
+	}
+}
+
+// TrialRunner is the public face of the trial arena: an immutable
+// prepared (circuit DAG, topology) pair plus one reusable arena. It is
+// the unit a distributed trial scheduler hands to a worker — immutable
+// inputs shared by everyone, one rented arena per worker, trials
+// identified by nothing more than (initial layout, options, seed,
+// policy).
+//
+// A TrialRunner is single-goroutine; create one runner per worker. The
+// Result returned by Run (and everything it references: the routed
+// circuit, both layouts) aliases the runner's arena and is valid only
+// until the next Run call.
+type TrialRunner struct {
+	fd    *circuit.FlatDAG
+	topo  *topology.Topology
+	arena *trialArena
+}
+
+// NewTrialRunner validates and prepares c for repeated routing trials
+// on topo, building the shared flat DAG once.
+func NewTrialRunner(c *circuit.Circuit, topo *topology.Topology) (*TrialRunner, error) {
+	if err := validateRoutable(c, topo); err != nil {
+		return nil, err
+	}
+	return &TrialRunner{
+		fd:    circuit.BuildFlatDAG(c),
+		topo:  topo,
+		arena: newTrialArena(),
+	}, nil
+}
+
+// newTrialRunnerForDAG shares an already-built FlatDAG (the
+// FindBestRouting fan-out path, where every worker reads one DAG).
+func newTrialRunnerForDAG(fd *circuit.FlatDAG, topo *topology.Topology) *TrialRunner {
+	return &TrialRunner{fd: fd, topo: topo, arena: newTrialArena()}
+}
+
+// Run executes one routing trial from the given initial layout with a
+// deterministically seeded generator. Steady-state calls allocate O(1):
+// all trial state lives in the runner's arena. See TrialRunner for the
+// validity contract of the returned Result.
+func (r *TrialRunner) Run(initial *topology.Layout, opts Options, seed int64, policy MirrorPolicy) (*Result, error) {
+	r.arena.rng.Seed(seed)
+	return r.arena.route(r.fd, r.topo, initial, opts, r.arena.rng, policy)
+}

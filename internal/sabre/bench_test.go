@@ -28,6 +28,10 @@ func benchCircuit(qubits, twoQ int) *circuit.Circuit {
 
 // BenchmarkFindBestRouting compares the trial engine serial vs one
 // worker per CPU; results are identical, only wall time differs.
+// Allocations are reported because the trial hot path is the
+// allocation floor of the whole pipeline: the per-call count is
+// dominated by one-time arena/DAG setup, with steady-state trials at
+// O(1) (see BenchmarkRouteArena for the per-trial view).
 func BenchmarkFindBestRouting(b *testing.B) {
 	topo := topology.Grid(4, 4)
 	c := benchCircuit(16, 60)
@@ -39,6 +43,7 @@ func BenchmarkFindBestRouting(b *testing.B) {
 		{fmt.Sprintf("parallel_%d", runtime.GOMAXPROCS(0)), 0},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := FindBestRouting(c, topo, LayoutOptions{
 					LayoutTrials: 8, RoutingTrials: 8, FwdBwdPasses: 2, Seed: 3,
@@ -50,6 +55,37 @@ func BenchmarkFindBestRouting(b *testing.B) {
 				b.ReportMetric(float64(res.SwapsInserted), "swaps")
 			}
 		})
+	}
+}
+
+// BenchmarkRouteArena measures the steady-state per-trial cost of the
+// arena path: one TrialRunner replaying routing trials of the same
+// circuit with varying seeds. This is the zero-allocation claim of the
+// trial engine — the DAG is shared and immutable, every mutable buffer
+// lives in the reused arena, so allocs/op must stay O(1) regardless of
+// circuit size (compare against BenchmarkRouteWide/engine, which pays
+// DAG construction and state allocation per call).
+func BenchmarkRouteArena(b *testing.B) {
+	topo := topology.Grid(4, 4)
+	c := benchCircuit(16, 60)
+	layout := RandomLayout(16, topo, rand.New(rand.NewSource(7)))
+	runner, err := NewTrialRunner(c, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One throwaway trial grows every arena buffer to its high-water
+	// mark so the timed loop sees the steady state.
+	if _, err := runner.Run(layout, Options{}, 1, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run(layout, Options{}, int64(i%16)+1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SwapsInserted), "swaps")
 	}
 }
 

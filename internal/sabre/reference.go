@@ -17,17 +17,18 @@ import (
 // reproduces it bit-identically, and BenchmarkRouteWide measures the
 // engine's speedup against it. Behaviour changes belong in both or
 // neither.
+//
+// Like the engine, the reference runs against the immutable
+// circuit.FlatDAG (with a freshly allocated traversal — the reference
+// stays naive about state reuse, only the graph representation is
+// shared), so both paths see the same execution schedule by
+// construction.
 func RouteReference(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout,
 	opts Options, rng *rand.Rand, policy MirrorPolicy) (*Result, error) {
 
 	opts = opts.WithDefaults()
-	if c.NumQubits > topo.NumQubits {
-		return nil, fmt.Errorf("sabre: circuit needs %d qubits, topology has %d", c.NumQubits, topo.NumQubits)
-	}
-	for _, op := range c.Ops {
-		if len(op.Qubits) > 2 {
-			return nil, fmt.Errorf("sabre: op %s has arity > 2; unroll first", op.Gate.String())
-		}
+	if err := validateRoutable(c, topo); err != nil {
+		return nil, err
 	}
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
@@ -35,8 +36,8 @@ func RouteReference(c *circuit.Circuit, topo *topology.Topology, initial *topolo
 	}
 
 	layout := initial.Copy()
-	dag := circuit.BuildDAG(c)
-	tr := dag.NewTraversal()
+	fd := circuit.BuildFlatDAG(c)
+	tr := fd.NewFlatTraversal()
 	out := circuit.New(c.Name+"_routed", topo.NumQubits)
 	decay := make([]float64, topo.NumQubits)
 	resetDecay := func() {
@@ -57,7 +58,7 @@ func RouteReference(c *circuit.Circuit, topo *topology.Topology, initial *topolo
 	routingCost := func(skip int, averaged bool) func(*topology.Layout) float64 {
 		var front [][2]int
 		for _, idx := range tr.Ready {
-			if idx == skip {
+			if int(idx) == skip {
 				continue
 			}
 			op := c.Ops[idx]
@@ -70,7 +71,7 @@ func RouteReference(c *circuit.Circuit, topo *topology.Topology, initial *topolo
 			// are the gates most affected by permuting its outputs, so
 			// they join the front at full weight ("considering
 			// downstream operations", paper Section III-D).
-			for _, s := range dag.Succs[skip] {
+			for _, s := range fd.SuccsOf(skip) {
 				op := c.Ops[s]
 				if op.Is2Q() {
 					front = append(front, [2]int{op.Qubits[0], op.Qubits[1]})
@@ -116,8 +117,9 @@ func RouteReference(c *circuit.Circuit, topo *topology.Topology, initial *topolo
 		progress := true
 		for progress {
 			progress = false
-			ready := append([]int(nil), tr.Ready...)
-			for _, idx := range ready {
+			ready := append([]int32(nil), tr.Ready...)
+			for _, idx32 := range ready {
+				idx := int(idx32)
 				op := c.Ops[idx]
 				switch len(op.Qubits) {
 				case 1:

@@ -12,6 +12,16 @@
 // RouteReference, the executable specification the engine is
 // property-tested against.
 //
+// The trial hot path allocates O(1) per steady-state trial: the
+// dependency DAG is built once per FindBestRouting call as an
+// immutable circuit.FlatDAG shared read-only by every worker, and all
+// mutable trial state — traversal, layout, decay, pair caches,
+// candidate dedup stamps, the routed-op buffer — lives in a per-worker
+// trialArena checked out through pool.StreamWith and reused across the
+// whole trial schedule. TrialRunner exposes the same arena reuse to
+// external callers (and is the seam a distributed trial queue would
+// dispatch over).
+//
 // The router exposes a MirrorPolicy hook: every two-qubit gate that
 // becomes executable is offered to the policy, which may replace it
 // with its mirror (gate followed by a virtual SWAP). The baseline uses
@@ -23,7 +33,6 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
-	"repro/internal/gates"
 	"repro/internal/pool"
 	"repro/internal/topology"
 )
@@ -62,8 +71,11 @@ func (o Options) WithDefaults() Options {
 }
 
 // MirrorContext is what a MirrorPolicy sees for an executable 2Q gate.
-// The cost evaluators are views into the router's live state and are
-// only valid for the duration of the Decide call.
+// The context is owned by the router's trial arena and rebound in
+// place for every decision: the whole struct — fields and cost
+// evaluators alike — is valid only for the duration of the Decide
+// call. Policies must not retain the pointer or defer evaluations; a
+// retained context would silently describe a later gate.
 type MirrorContext struct {
 	Op           circuit.Op       // the logical gate (Coord annotated when available)
 	PhysA, PhysB int              // current physical locations of its qubits
@@ -110,126 +122,21 @@ type Result struct {
 // Route maps the logical circuit onto the topology starting from the
 // given layout, inserting SWAPs as needed. All ops must act on at most
 // two qubits. The input layout is not mutated.
+//
+// Each call builds the circuit's flat DAG and a fresh trial arena; the
+// returned Result owns its buffers. Callers routing the same circuit
+// repeatedly should use TrialRunner, which shares the DAG and reuses
+// the arena so steady-state trials allocate O(1).
 func Route(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout,
 	opts Options, rng *rand.Rand, policy MirrorPolicy) (*Result, error) {
 
-	opts = opts.WithDefaults()
-	if c.NumQubits > topo.NumQubits {
-		return nil, fmt.Errorf("sabre: circuit needs %d qubits, topology has %d", c.NumQubits, topo.NumQubits)
+	if err := validateRoutable(c, topo); err != nil {
+		return nil, err
 	}
-	for _, op := range c.Ops {
-		if len(op.Qubits) > 2 {
-			return nil, fmt.Errorf("sabre: op %s has arity > 2; unroll first", op.Gate.String())
-		}
-	}
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 10000 + 100*len(c.Ops)
-	}
-
-	st := newRoutingState(c, topo, initial, opts)
-	out := circuit.New(c.Name+"_routed", topo.NumQubits)
-	res := &Result{InitialLayout: initial.Copy()}
-
-	steps := 0
-	for !st.tr.Done() {
-		// Execute everything currently executable.
-		progress := true
-		for progress {
-			progress = false
-			ready := append([]int(nil), st.tr.Ready...)
-			for _, idx := range ready {
-				op := c.Ops[idx]
-				switch len(op.Qubits) {
-				case 1:
-					out.Append(circuit.Op{
-						Gate:   op.Gate,
-						Qubits: []int{st.layout.Phys(op.Qubits[0])},
-					})
-					st.execute(idx)
-					progress = true
-				case 2:
-					pa, pb := st.layout.Phys(op.Qubits[0]), st.layout.Phys(op.Qubits[1])
-					if !topo.HasEdge(pa, pb) {
-						continue
-					}
-					mirrored := false
-					if policy != nil {
-						st.prepareMirror(idx)
-						ctx := &MirrorContext{
-							Op: op, PhysA: pa, PhysB: pb,
-							Layout: st.layout, Topo: topo,
-							RoutingCost: st.mirrorCostAt,
-							RoutingCostSwap: func() (float64, float64) {
-								return st.mirrorCostSwap(pa, pb)
-							},
-						}
-						mirrored = policy.Decide(ctx)
-					}
-					emit := circuit.Op{Gate: op.Gate, Qubits: []int{pa, pb}, Coord: op.Coord}
-					if mirrored {
-						m := gates.SWAP().Matrix().Mul(op.Gate.Matrix())
-						emit.Gate = gates.NewCustom(op.Gate.Name+"'", 2, m)
-						emit.Mirrored = true
-						emit.Coord = nil // stale: the mirror has a new coordinate
-						res.MirrorsUsed++
-					}
-					out.Append(emit)
-					res.TwoQubitGates++
-					if mirrored {
-						st.applyMirrorSwap(pa, pb)
-					}
-					st.execute(idx)
-					st.resetDecay()
-					progress = true
-				}
-			}
-		}
-		if st.tr.Done() {
-			break
-		}
-
-		// Stalled: refresh the pair caches if gates executed since the
-		// last stall, then score every candidate by delta and select
-		// serially (identical comparisons and RNG consumption to the
-		// reference, so the chosen SWAP sequence is bit-identical).
-		st.refresh()
-		candidates := st.collectCandidates()
-		if len(candidates) == 0 {
-			return nil, fmt.Errorf("sabre: stalled with no swap candidates (disconnected topology?)")
-		}
-		scores := st.scoreCandidates(candidates, opts.ScoreWorkers)
-		bestScore := 0.0
-		bestIdx := -1
-		for i := range candidates {
-			score := scores[i]
-			if bestIdx < 0 || score < bestScore-1e-12 ||
-				(score < bestScore+1e-12 && rng.Intn(2) == 0) {
-				bestScore, bestIdx = score, i
-			}
-		}
-		chosen := candidates[bestIdx]
-		out.Append(circuit.Op{
-			Gate:       gates.SWAP(),
-			Qubits:     []int{chosen.a, chosen.b},
-			RouterSwap: true,
-		})
-		st.applySwap(chosen.a, chosen.b)
-		res.SwapsInserted++
-		st.decay[chosen.a] += opts.DecayRate
-		st.decay[chosen.b] += opts.DecayRate
-		steps++
-		if steps%opts.DecayResetInterval == 0 {
-			st.resetDecay()
-		}
-		if steps > maxSteps {
-			return nil, fmt.Errorf("sabre: exceeded %d swap insertions; routing diverged", maxSteps)
-		}
-	}
-
-	res.Routed = out
-	res.FinalLayout = st.layout
-	return res, nil
+	fd := circuit.BuildFlatDAG(c)
+	// The arena is transient, so handing its buffers to the caller via
+	// the Result is safe: nothing resets them afterwards.
+	return newTrialArena().route(fd, topo, initial, opts, rng, policy)
 }
 
 // RandomLayout places the circuit's logical qubits on distinct random
@@ -239,7 +146,12 @@ func RandomLayout(numLogical int, topo *topology.Topology, rng *rand.Rand) *topo
 	return topology.NewLayout(perm[:numLogical], topo.NumQubits)
 }
 
-// Metric scores a routing result; lower is better.
+// Metric scores a routing result; lower is better. Metrics must be
+// deterministic functions of the Result: FindBestRouting evaluates
+// them inside trial workers on arena-backed Results that are only
+// valid for the duration of the call (the winning trial is replayed to
+// materialise the returned Result), so a metric must neither retain
+// the Result nor depend on anything but its contents.
 type Metric func(*Result) float64
 
 // SwapCountMetric is the stock Qiskit-SABRE post-selection metric: the
@@ -289,7 +201,9 @@ func (o LayoutOptions) WithDefaults() LayoutOptions {
 
 // PolicyFactory builds a mirror policy for a given trial index; nil
 // factories (baseline SABRE) yield nil policies. Trial indices let
-// MIRAGE distribute aggression levels across trials.
+// MIRAGE distribute aggression levels across trials. Factories must be
+// deterministic in the trial index: FindBestRouting replays the
+// winning trial — same index, same seed — to materialise its Result.
 type PolicyFactory func(trial int) MirrorPolicy
 
 // FindBestRouting runs the full SABRE flow: for each layout trial, a
@@ -297,16 +211,23 @@ type PolicyFactory func(trial int) MirrorPolicy
 // then the circuit is routed up to LayoutTrials x RoutingTrials times
 // independently; the best result under the metric is returned.
 //
-// Layout refinement fans out over a bounded worker pool
-// (LayoutOptions.Parallelism workers). The routing grid then runs on a
-// streaming scheduler: workers pull trial indices, an online argmin
-// consumes scores in trial-index order, and — with ConvergencePatience
-// set — scheduling stops after the configured run of non-improving
-// indices. Each trial owns a generator seeded from (Seed, trial kind,
-// trial index) through a splitmix64 mixer, and ties between
-// equal-scoring trials break toward the lowest trial index, so the
-// chosen result is bit-identical at any worker count: it is exactly
-// the trial a serial loop would have selected.
+// The flat dependency DAG is built once (forward and reversed) and
+// shared read-only by every worker. Layout refinement fans out over a
+// bounded worker pool; the routing grid then runs on a streaming
+// scheduler: workers pull trial indices into per-worker reusable
+// arenas, an online argmin consumes (index, score) pairs in trial-
+// index order, and — with ConvergencePatience set — scheduling stops
+// after the configured run of non-improving indices. Workers keep only
+// the score; once the winning index is known, that single trial is
+// replayed on a fresh arena to materialise the returned Result (trials
+// are deterministic in (Seed, index), so the replay is bit-identical
+// to the scored run).
+//
+// Each trial owns a generator seeded from (Seed, trial kind, trial
+// index) through a splitmix64 mixer, and ties between equal-scoring
+// trials break toward the lowest trial index, so the chosen result is
+// bit-identical at any worker count: it is exactly the trial a serial
+// loop would have selected.
 func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOptions,
 	metric Metric, factory PolicyFactory) (*Result, error) {
 
@@ -314,37 +235,44 @@ func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOpt
 	if metric == nil {
 		metric = SwapCountMetric
 	}
-	if c.NumQubits > topo.NumQubits {
-		return nil, fmt.Errorf("sabre: circuit needs %d qubits, topology has %d", c.NumQubits, topo.NumQubits)
+	if err := validateRoutable(c, topo); err != nil {
+		return nil, err
 	}
 	if !topo.IsConnected() && c.Count2Q() > 0 {
 		return nil, fmt.Errorf("sabre: topology %s is disconnected", topo.Name)
 	}
+	fd := circuit.BuildFlatDAG(c)
 	rev := c.Reversed()
+	fdRev := circuit.BuildFlatDAG(rev)
 	workers := pool.Size(opts.Parallelism)
 
 	// Wave 1: refine one initial layout per layout trial.
 	// Forward/backward refinement: route forward, then route the
 	// reversed circuit from the final layout; its final layout becomes
-	// the new initial layout.
+	// the new initial layout. Each worker reuses one arena for all its
+	// trials' 2*FwdBwdPasses routing calls.
 	layouts := make([]*topology.Layout, opts.LayoutTrials)
-	err := pool.ForEach(workers, opts.LayoutTrials, func(lt int) error {
-		rng := rand.New(rand.NewSource(trialSeed(opts.Seed, seedStreamLayout, lt)))
-		layout := RandomLayout(c.NumQubits, topo, rng)
-		for pass := 0; pass < opts.FwdBwdPasses; pass++ {
-			fwd, err := Route(c, topo, layout, opts.Routing, rng, nil)
-			if err != nil {
-				return err
+	err := pool.ForEachWith(workers, opts.LayoutTrials,
+		func(int) *trialArena { return newTrialArena() },
+		func(lt int, a *trialArena) error {
+			a.rng.Seed(trialSeed(opts.Seed, seedStreamLayout, lt))
+			layout := RandomLayout(c.NumQubits, topo, a.rng)
+			for pass := 0; pass < opts.FwdBwdPasses; pass++ {
+				fwd, err := a.route(fd, topo, layout, opts.Routing, a.rng, nil)
+				if err != nil {
+					return err
+				}
+				projectLayoutInto(&a.h1, fwd.FinalLayout, c.NumQubits)
+				bwd, err := a.route(fdRev, topo, &a.h1, opts.Routing, a.rng, nil)
+				if err != nil {
+					return err
+				}
+				projectLayoutInto(&a.h2, bwd.FinalLayout, c.NumQubits)
+				layout = &a.h2
 			}
-			bwd, err := Route(rev, topo, projectLayout(fwd.FinalLayout, c.NumQubits), opts.Routing, rng, nil)
-			if err != nil {
-				return err
-			}
-			layout = projectLayout(bwd.FinalLayout, c.NumQubits)
-		}
-		layouts[lt] = layout
-		return nil
-	})
+			layouts[lt] = layout.Copy()
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -352,55 +280,66 @@ func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOpt
 	// Wave 2: the routing grid as a stream. Trial t = lt*RoutingTrials
 	// + rt routes from layouts[lt]; scoring happens inside the worker
 	// so that expensive metrics (polytope-weighted depth) parallelise
-	// too. pool.Stream consumes (result, score) pairs in strict trial-
-	// index order, so the online argmin and the convergence stop rule
-	// see exactly the sequence a serial loop would: the winner — and,
-	// in adaptive mode, the number of trials consumed — is independent
-	// of goroutine scheduling. Only the current best Result stays
-	// resident, not the whole grid.
+	// too. pool.StreamWith consumes (index, score) pairs in strict
+	// trial-index order, so the online argmin and the convergence stop
+	// rule see exactly the sequence a serial loop would: the winner —
+	// and, in adaptive mode, the number of trials consumed — is
+	// independent of goroutine scheduling. Only scores cross the
+	// worker boundary; routed circuits stay in the arenas.
 	type trialOut struct {
-		res   *Result
 		score float64
 	}
 	n := opts.LayoutTrials * opts.RoutingTrials
 	var (
-		best      *Result
+		bestT     = -1
 		bestScore float64
 		executed  int
 		noImprove int
 	)
-	err = pool.Stream(workers, n, func(t int) (trialOut, error) {
-		lt := t / opts.RoutingTrials
-		var policy MirrorPolicy
-		if factory != nil {
-			policy = factory(t)
-		}
-		rrng := rand.New(rand.NewSource(trialSeed(opts.Seed, seedStreamRouting, t)))
-		res, err := Route(c, topo, layouts[lt], opts.Routing, rrng, policy)
-		if err != nil {
-			return trialOut{}, err
-		}
-		return trialOut{res: res, score: metric(res)}, nil
-	}, func(t int, v trialOut) bool {
-		executed++
-		if best == nil || v.score < bestScore {
-			best, bestScore = v.res, v.score
-			noImprove = 0
-			return false
-		}
-		noImprove++
-		return opts.ConvergencePatience > 0 && noImprove >= opts.ConvergencePatience
-	})
+	err = pool.StreamWith(workers, n,
+		func(int) *trialArena { return newTrialArena() },
+		func(t int, a *trialArena) (trialOut, error) {
+			lt := t / opts.RoutingTrials
+			var policy MirrorPolicy
+			if factory != nil {
+				policy = factory(t)
+			}
+			a.rng.Seed(trialSeed(opts.Seed, seedStreamRouting, t))
+			res, err := a.route(fd, topo, layouts[lt], opts.Routing, a.rng, policy)
+			if err != nil {
+				return trialOut{}, err
+			}
+			return trialOut{score: metric(res)}, nil
+		},
+		func(t int, v trialOut) bool {
+			executed++
+			if bestT < 0 || v.score < bestScore {
+				bestScore, bestT = v.score, t
+				noImprove = 0
+				return false
+			}
+			noImprove++
+			return opts.ConvergencePatience > 0 && noImprove >= opts.ConvergencePatience
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialise the winner: replay trial bestT on a transient arena
+	// whose buffers the Result can own. Trials are deterministic in
+	// (Seed, index), so this reproduces the scored run bit for bit at
+	// the cost of one extra route — noise against the trial grid.
+	var policy MirrorPolicy
+	if factory != nil {
+		policy = factory(bestT)
+	}
+	wa := newTrialArena()
+	wa.rng.Seed(trialSeed(opts.Seed, seedStreamRouting, bestT))
+	best, err := wa.route(fd, topo, layouts[bestT/opts.RoutingTrials], opts.Routing, wa.rng, policy)
 	if err != nil {
 		return nil, err
 	}
 	best.TrialsExecuted = executed
 	best.TrialsBudgeted = n
 	return best, nil
-}
-
-// projectLayout restricts a (possibly larger) layout to the first
-// numLogical logical qubits, keeping their physical assignments.
-func projectLayout(l *topology.Layout, numLogical int) *topology.Layout {
-	return topology.NewLayout(l.L2P[:numLogical], len(l.P2L))
 }

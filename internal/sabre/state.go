@@ -21,6 +21,13 @@ import (
 // bit-for-bit — the engine's scores, tie-breaking RNG consumption, and
 // emitted circuits are identical to RouteReference's. The equivalence
 // property test enforces this.
+//
+// All of the engine's mutable state lives in buffers owned by a
+// trialArena (arena.go) and is rewound per trial with bind(): the DAG
+// itself is an immutable shared circuit.FlatDAG, every slice below is
+// reused across trials, and the one former map (the SWAP-candidate
+// dedup set) is a generation-stamped flat array, so a steady-state
+// trial performs O(1) allocations.
 
 // swapCand is one candidate SWAP on a coupled physical pair (a < b).
 type swapCand struct{ a, b int }
@@ -28,7 +35,8 @@ type swapCand struct{ a, b int }
 // pairSet caches one scoring set (the front layer or the extended
 // lookahead window): logical endpoint pairs, their current physical
 // distances, the distance sum, and a physical-qubit -> pair index so
-// swap deltas touch only affected pairs.
+// swap deltas touch only affected pairs. reset() is O(touched): only
+// per-qubit index lists registered since the last reset are cleared.
 type pairSet struct {
 	pairs   [][2]int // logical endpoints
 	dist    []int    // current distance per pair under the engine layout
@@ -37,8 +45,20 @@ type pairSet struct {
 	touched []int    // physical qubits with registered pairs (reset list)
 }
 
-func newPairSet(numPhys int) pairSet {
-	return pairSet{byPhys: make([][]int, numPhys)}
+// ensure sizes the per-qubit index against the topology width, keeping
+// existing backing arrays when already large enough. The stale touched
+// list is cleared at the *old* width first: rebinding the arena to a
+// narrower topology must not leave per-qubit lists (or out-of-range
+// touched entries) behind.
+func (ps *pairSet) ensure(numPhys int) {
+	for _, q := range ps.touched {
+		ps.byPhys[q] = ps.byPhys[q][:0]
+	}
+	ps.touched = ps.touched[:0]
+	if cap(ps.byPhys) < numPhys {
+		ps.byPhys = make([][]int, numPhys)
+	}
+	ps.byPhys = ps.byPhys[:numPhys]
 }
 
 func (ps *pairSet) reset() {
@@ -119,18 +139,18 @@ func swapMap(x, a, b int) int {
 	return x
 }
 
-// routingState is the engine: the DAG traversal, the live layout and
-// decay vector, and the incrementally maintained front/extended pair
-// caches. It is single-goroutine except scoreCandidates, which may
-// shard its (read-only) scoring loop across a worker pool.
+// routingState is the engine: the flat-DAG traversal, the live layout
+// and decay vector, and the incrementally maintained front/extended
+// pair caches. It is single-goroutine except scoreCandidates, which
+// may shard its (read-only) scoring loop across a worker pool.
 type routingState struct {
 	c    *circuit.Circuit
 	topo *topology.Topology
 	opts Options
 
-	dag    *circuit.DAG
-	tr     *circuit.Traversal
-	layout *topology.Layout
+	fd     *circuit.FlatDAG
+	tr     circuit.FlatTraversal
+	layout topology.Layout // arena-owned working layout (reset per trial)
 	decay  []float64
 
 	front pairSet
@@ -138,31 +158,54 @@ type routingState struct {
 	dirty bool // pair caches stale (a gate executed or a mirror moved the layout)
 
 	// Scratch for mirror-decision cost views (valid only within one
-	// Decide call).
-	mirrorFront [][2]int
-	mirrorExt   [][2]int
+	// Decide call). mirrorA/mirrorB feed the arena's pre-bound
+	// RoutingCostSwap closure so no per-decision closure is captured.
+	mirrorFront      [][2]int
+	mirrorExt        [][2]int
+	mirrorA, mirrorB int
 
-	// Scratch for candidate collection.
-	cands    []swapCand
-	candSeen map[swapCand]bool
-	scores   []float64
+	// Scratch for candidate collection: candStamp is the generation-
+	// stamped replacement of the old map[swapCand]bool — one uint32 per
+	// (a, b) physical pair, "seen this stall" iff stamped with the
+	// current generation. Bumping candGen invalidates the whole set in
+	// O(1); the array is only zeroed when the 32-bit counter wraps.
+	cands     []swapCand
+	candStamp []uint32
+	candGen   uint32
+	scores    []float64
+
+	// readySnap snapshots the ready set for the execute loop (the loop
+	// mutates tr.Ready while iterating).
+	readySnap []int32
 }
 
-func newRoutingState(c *circuit.Circuit, topo *topology.Topology, initial *topology.Layout, opts Options) *routingState {
-	dag := circuit.BuildDAG(c)
-	st := &routingState{
-		c: c, topo: topo, opts: opts,
-		dag:      dag,
-		tr:       dag.NewTraversal(),
-		layout:   initial.Copy(),
-		decay:    make([]float64, topo.NumQubits),
-		front:    newPairSet(topo.NumQubits),
-		ext:      newPairSet(topo.NumQubits),
-		dirty:    true,
-		candSeen: make(map[swapCand]bool),
+// bind rewinds the state for one trial over fd starting from initial.
+// Buffers are reused whenever they are already large enough, so a
+// steady-state rebind allocates nothing.
+func (st *routingState) bind(fd *circuit.FlatDAG, topo *topology.Topology, initial *topology.Layout, opts Options) {
+	st.c = fd.Circ
+	st.topo = topo
+	st.opts = opts
+	st.fd = fd
+	st.tr.Reset(fd)
+	st.layout.CopyFrom(initial)
+
+	n := topo.NumQubits
+	if cap(st.decay) < n {
+		st.decay = make([]float64, n)
 	}
+	st.decay = st.decay[:n]
+	st.front.ensure(n)
+	st.ext.ensure(n)
+	st.front.reset()
+	st.ext.reset()
+	if cap(st.candStamp) < n*n {
+		st.candStamp = make([]uint32, n*n)
+		st.candGen = 0
+	}
+	st.candStamp = st.candStamp[:n*n]
+	st.dirty = true
 	st.resetDecay()
-	return st
 }
 
 func (st *routingState) resetDecay() {
@@ -187,16 +230,14 @@ func (st *routingState) refresh() {
 	}
 	st.front.reset()
 	for _, idx := range st.tr.Ready {
-		op := st.c.Ops[idx]
-		if op.Is2Q() {
-			st.front.add(op.Qubits[0], op.Qubits[1], st.layout, st.topo)
+		if q1 := st.fd.Q1[idx]; q1 >= 0 {
+			st.front.add(int(st.fd.Q0[idx]), int(q1), &st.layout, st.topo)
 		}
 	}
 	st.ext.reset()
 	for _, idx := range st.tr.Descendants(st.opts.ExtendedSetSize) {
-		op := st.c.Ops[idx]
-		if op.Is2Q() {
-			st.ext.add(op.Qubits[0], op.Qubits[1], st.layout, st.topo)
+		if q1 := st.fd.Q1[idx]; q1 >= 0 {
+			st.ext.add(int(st.fd.Q0[idx]), int(q1), &st.layout, st.topo)
 		}
 	}
 	st.dirty = false
@@ -210,8 +251,8 @@ func (st *routingState) applySwap(a, b int) {
 	if st.dirty {
 		return // caches are stale anyway; next refresh rebuilds
 	}
-	st.front.applySwap(a, b, st.layout, st.topo)
-	st.ext.applySwap(a, b, st.layout, st.topo)
+	st.front.applySwap(a, b, &st.layout, st.topo)
+	st.ext.applySwap(a, b, &st.layout, st.topo)
 }
 
 // applyMirrorSwap commits the virtual SWAP of an accepted mirror gate.
@@ -228,24 +269,34 @@ func (st *routingState) applyMirrorSwap(a, b int) {
 // occurrence kept.
 func (st *routingState) collectCandidates() []swapCand {
 	st.cands = st.cands[:0]
-	for k := range st.candSeen {
-		delete(st.candSeen, k)
+	st.candGen++
+	if st.candGen == 0 { // 32-bit generation wrapped: clear stamps once
+		// Clear the full capacity: entries beyond the current length may
+		// be resurfaced by a later rebind to a wider topology, and the
+		// monotonic-generation argument only holds if they are zeroed too.
+		full := st.candStamp[:cap(st.candStamp)]
+		for i := range full {
+			full[i] = 0
+		}
+		st.candGen = 1
 	}
+	n := st.topo.NumQubits
 	for _, idx := range st.tr.Ready {
-		op := st.c.Ops[idx]
-		if !op.Is2Q() {
+		q1 := st.fd.Q1[idx]
+		if q1 < 0 {
 			continue
 		}
-		for _, lq := range op.Qubits {
-			p := st.layout.Phys(lq)
+		for _, lq := range [2]int32{st.fd.Q0[idx], q1} {
+			p := st.layout.Phys(int(lq))
 			for _, nb := range st.topo.Neighbors(p) {
-				k := swapCand{p, nb}
-				if k.a > k.b {
-					k.a, k.b = k.b, k.a
+				a, b := p, nb
+				if a > b {
+					a, b = b, a
 				}
-				if !st.candSeen[k] {
-					st.candSeen[k] = true
-					st.cands = append(st.cands, k)
+				key := a*n + b
+				if st.candStamp[key] != st.candGen {
+					st.candStamp[key] = st.candGen
+					st.cands = append(st.cands, swapCand{a, b})
 				}
 			}
 		}
@@ -303,11 +354,11 @@ func (st *routingState) scoreCandidate(sc swapCand) float64 {
 	}
 	var h float64
 	if nf := len(st.front.pairs); nf > 0 {
-		h += float64(st.front.sum+st.front.swapDelta(sc.a, sc.b, st.layout, st.topo)) / float64(nf)
+		h += float64(st.front.sum+st.front.swapDelta(sc.a, sc.b, &st.layout, st.topo)) / float64(nf)
 	}
 	if ne := len(st.ext.pairs); ne > 0 {
 		h += st.opts.ExtendedSetWeight *
-			(float64(st.ext.sum+st.ext.swapDelta(sc.a, sc.b, st.layout, st.topo)) / float64(ne))
+			(float64(st.ext.sum+st.ext.swapDelta(sc.a, sc.b, &st.layout, st.topo)) / float64(ne))
 	}
 	return d * h
 }
@@ -322,25 +373,22 @@ func (st *routingState) scoreCandidate(sc swapCand) float64 {
 func (st *routingState) prepareMirror(skip int) {
 	st.mirrorFront = st.mirrorFront[:0]
 	for _, idx := range st.tr.Ready {
-		if idx == skip {
+		if int(idx) == skip {
 			continue
 		}
-		op := st.c.Ops[idx]
-		if op.Is2Q() {
-			st.mirrorFront = append(st.mirrorFront, [2]int{op.Qubits[0], op.Qubits[1]})
+		if q1 := st.fd.Q1[idx]; q1 >= 0 {
+			st.mirrorFront = append(st.mirrorFront, [2]int{int(st.fd.Q0[idx]), int(q1)})
 		}
 	}
-	for _, s := range st.dag.Succs[skip] {
-		op := st.c.Ops[s]
-		if op.Is2Q() {
-			st.mirrorFront = append(st.mirrorFront, [2]int{op.Qubits[0], op.Qubits[1]})
+	for _, s := range st.fd.SuccsOf(skip) {
+		if q1 := st.fd.Q1[s]; q1 >= 0 {
+			st.mirrorFront = append(st.mirrorFront, [2]int{int(st.fd.Q0[s]), int(q1)})
 		}
 	}
 	st.mirrorExt = st.mirrorExt[:0]
 	for _, idx := range st.tr.Descendants(st.opts.ExtendedSetSize) {
-		op := st.c.Ops[idx]
-		if op.Is2Q() {
-			st.mirrorExt = append(st.mirrorExt, [2]int{op.Qubits[0], op.Qubits[1]})
+		if q1 := st.fd.Q1[idx]; q1 >= 0 {
+			st.mirrorExt = append(st.mirrorExt, [2]int{int(st.fd.Q0[idx]), int(q1)})
 		}
 	}
 }
@@ -367,9 +415,10 @@ func (st *routingState) mirrorCostAt(l *topology.Layout) float64 {
 }
 
 // mirrorCostSwap evaluates the prepared sets at the current layout and
-// at the layout after hypothetically swapping (a, b) — without copying
-// the layout, via the swap map.
-func (st *routingState) mirrorCostSwap(a, b int) (current, swapped float64) {
+// at the layout after hypothetically swapping (mirrorA, mirrorB) —
+// without copying the layout, via the swap map.
+func (st *routingState) mirrorCostSwap() (current, swapped float64) {
+	a, b := st.mirrorA, st.mirrorB
 	sum := func(pairs [][2]int) (cur, swp int64) {
 		for _, p := range pairs {
 			pa, pb := st.layout.Phys(p[0]), st.layout.Phys(p[1])

@@ -40,6 +40,14 @@ func (l *Layout) Copy() *Layout {
 	}
 }
 
+// CopyFrom overwrites l with o, reusing l's backing arrays when large
+// enough (the trial-arena reset path: one layout buffer replayed across
+// thousands of routing trials with zero steady-state allocations).
+func (l *Layout) CopyFrom(o *Layout) {
+	l.L2P = append(l.L2P[:0], o.L2P...)
+	l.P2L = append(l.P2L[:0], o.P2L...)
+}
+
 // SwapPhysical exchanges the logical qubits on two physical locations
 // (the effect of a SWAP gate on those wires, or of a mirage SWAP).
 func (l *Layout) SwapPhysical(a, b int) {

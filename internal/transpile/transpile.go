@@ -4,6 +4,14 @@
 // VF2-style trivial-layout check, SABRE or MIRAGE routing with layout
 // and routing trials, and metric extraction (polytope-weighted depth,
 // total basis-gate cost, SWAP count, mirror acceptance rate).
+//
+// Routing runs on the arena-based trial engine: per circuit, one
+// immutable flat dependency DAG is shared read-only by all trial
+// workers and each worker reuses a private trial arena across the
+// whole schedule, so steady-state trials allocate O(1). TranspileBatch
+// composes the same way — circuit-level fan-out on the outside, arena
+// reuse inside each circuit's trial grid, one warmed decomposition
+// cost cache shared by everything.
 package transpile
 
 import (

@@ -73,6 +73,17 @@ type Topology = topology.Topology
 // Layout maps logical to physical qubits.
 type Layout = topology.Layout
 
+// NewLayout builds a layout from a logical-to-physical assignment
+// (the initial-layout input of TrialRunner.Run and Route).
+func NewLayout(l2p []int, numPhysical int) *Layout {
+	return topology.NewLayout(l2p, numPhysical)
+}
+
+// TrivialLayout maps logical qubit i to physical qubit i.
+func TrivialLayout(numLogical, numPhysical int) *Layout {
+	return topology.TrivialLayout(numLogical, numPhysical)
+}
+
 // Line returns a 1-D chain of n qubits.
 func Line(n int) *Topology { return topology.Line(n) }
 
@@ -126,6 +137,28 @@ const (
 
 // LayoutOptions holds SABRE trial counts and parameters.
 type LayoutOptions = sabre.LayoutOptions
+
+// RoutingOptions holds the per-trial SABRE parameters (lookahead
+// window, decay, score sharding).
+type RoutingOptions = sabre.Options
+
+// RoutingResult is the outcome of one routing run.
+type RoutingResult = sabre.Result
+
+// TrialRunner reuses one routing-trial arena across many trials of a
+// prepared (circuit, topology) pair: the dependency DAG is built once
+// and shared immutably, all mutable trial state is rewound per Run, so
+// steady-state trials allocate O(1). A runner is single-goroutine and
+// the Result returned by Run aliases its arena (valid until the next
+// Run). This is the dispatch unit a distributed trial queue hands to a
+// worker.
+type TrialRunner = sabre.TrialRunner
+
+// NewTrialRunner validates and prepares a circuit for repeated routing
+// trials on a topology.
+func NewTrialRunner(c *Circuit, topo *Topology) (*TrialRunner, error) {
+	return sabre.NewTrialRunner(c, topo)
+}
 
 // Transpile runs the full pipeline: cleaning, consolidation, trivial
 // layout check, SABRE/MIRAGE routing, metrics. Routing trials run on a
