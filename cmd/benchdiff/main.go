@@ -20,8 +20,6 @@ import (
 	"repro/internal/bench"
 )
 
-type key struct{ circuit, router string }
-
 func pct(old, new float64) string {
 	if old == 0 {
 		if new == 0 {
@@ -66,23 +64,18 @@ func main() {
 		fmt.Println("note: run configurations differ; quality deltas are not apples-to-apples")
 	}
 
-	oldRows := make(map[key]bench.RoutingRow, len(oldF.Rows))
-	for _, r := range oldF.Rows {
-		oldRows[key{r.Circuit, r.Router}] = r
-	}
+	// Rows are paired by (circuit, router) key. Rows missing from the
+	// baseline — a benchmark added by the change under test, e.g. a new
+	// dispatch lane — are warned about but never fail the diff: gating
+	// on them would break the first CI comparison after every merge
+	// that extends the suite. Same for rows the new run dropped.
+	al := bench.AlignRows(oldF.Rows, newF.Rows)
 
 	fmt.Printf("\n%-22s %-7s | %16s | %16s | %13s | %16s | %11s\n",
 		"circuit", "router", "depth", "gates", "swaps", "wall_ms", "trials")
 	var regressions []string
-	matched := 0
-	for _, n := range newF.Rows {
-		o, ok := oldRows[key{n.Circuit, n.Router}]
-		if !ok {
-			fmt.Printf("%-22s %-7s | (no previous row)\n", n.Circuit, n.Router)
-			continue
-		}
-		matched++
-		delete(oldRows, key{n.Circuit, n.Router})
+	for _, pair := range al.Pairs {
+		o, n := pair[0], pair[1]
 		fmt.Printf("%-22s %-7s | %7.1f %s | %7.0f %s | %5d %s | %7.1f %s | %4d->%-4d\n",
 			n.Circuit, n.Router,
 			n.DepthPulses, pct(o.DepthPulses, n.DepthPulses),
@@ -98,15 +91,19 @@ func main() {
 			}
 		}
 	}
-	for k := range oldRows {
-		fmt.Printf("%-22s %-7s | (row dropped in new run)\n", k.circuit, k.router)
+	for _, n := range al.Added {
+		fmt.Printf("%-22s %-7s | warning: no baseline row (new benchmark; this run seeds it)\n", n.Circuit, n.Router)
+	}
+	for _, k := range al.Removed {
+		fmt.Printf("%-22s %-7s | warning: row dropped in new run\n", k.Circuit, k.Router)
 	}
 	if oldF.Cache != nil && newF.Cache != nil {
 		fmt.Printf("\ncost cache: hit rate %.1f%% -> %.1f%% (warm-start entries %d -> %d)\n",
 			100*oldF.Cache.HitRate, 100*newF.Cache.HitRate,
 			oldF.Cache.LoadedEntries, newF.Cache.LoadedEntries)
 	}
-	fmt.Printf("matched %d of %d rows\n", matched, len(newF.Rows))
+	fmt.Printf("matched %d of %d rows (%d new, %d dropped — warnings only)\n",
+		len(al.Pairs), len(newF.Rows), len(al.Added), len(al.Removed))
 
 	// Kernel lane: ns/op is hardware-dependent context; allocs/op is
 	// deterministic for deterministic code, so any increase on a

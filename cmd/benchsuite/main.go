@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
+	"repro/internal/dispatch"
+	"repro/internal/distrib"
 	"repro/internal/mirage"
 	"repro/internal/polytope"
 	"repro/internal/pool"
@@ -32,10 +34,15 @@ type runConfig struct {
 	cache        *polytope.CostCache
 	cacheLoaded  int  // entries merged from -cache-file at startup
 	kernels      bool // run the numeric-kernel -benchmem lane
+	// cluster, when non-nil, fans every routing-trial grid out to
+	// remote miraged workers (-listen/-workers). Results are
+	// bit-identical to local runs; only wall times and cache traffic
+	// move.
+	cluster *distrib.Cluster
 }
 
 func (rc *runConfig) options(router transpile.Router, depth bool, fixed *mirage.Aggression) transpile.Options {
-	return transpile.Options{
+	opts := transpile.Options{
 		Router:              router,
 		DepthSelection:      depth,
 		FixedAggression:     fixed,
@@ -45,6 +52,15 @@ func (rc *runConfig) options(router transpile.Router, depth bool, fixed *mirage.
 		Cache:               rc.cache,
 		SkipTrivialLayout:   true, // the suite circuits all need routing
 	}
+	if rc.cluster != nil {
+		dopts, err := rc.cluster.Options(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return dopts
+	}
+	return opts
 }
 
 func main() {
@@ -63,8 +79,23 @@ func main() {
 		kernels   = flag.Bool("kernels", false, "run the numeric-kernel -benchmem lane and record it in the results file")
 		patSweep  = flag.String("patience-sweep", "", "comma-separated ConvergencePatience values to sweep on the suite (e.g. \"0,2,5,8,12\"); runs the sweep instead of -fig")
 		patJSON   = flag.String("patience-json", "BENCH_patience.json", "machine-readable patience-sweep results file (empty = disabled)")
+		listen    = flag.String("listen", "", "coordinator address for distributed trials (e.g. 127.0.0.1:7117); workers join with `miraged worker -connect`")
+		workers   = flag.Int("workers", 0, "remote workers to wait for before starting (requires -listen)")
+		lease     = flag.Int("lease", 0, "routing trials per work-queue lease in distributed mode (0 = default)")
 	)
 	flag.Parse()
+
+	if err := (bench.SchedulerFlags{
+		Parallel: *parallel, Patience: *patience, Trials: *trials,
+		ScoreWorkers: *scoreWork, Workers: *workers, Lease: *lease,
+	}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(2)
+	}
+	if (*listen == "") != (*workers == 0) {
+		fmt.Fprintln(os.Stderr, "benchsuite: -listen and -workers must be set together")
+		os.Exit(2)
+	}
 
 	lt, rt, fb := 20, 20, 4
 	if *quick {
@@ -101,6 +132,24 @@ func main() {
 		}
 	}
 	rc.kernels = *kernels
+
+	if *listen != "" {
+		hub := dispatch.NewHub()
+		addr, err := hub.Listen(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listening on %s: %v\n", *listen, err)
+			os.Exit(1)
+		}
+		defer hub.Close()
+		fmt.Printf("coordinator listening on %s; waiting for %d workers...\n", addr, *workers)
+		if err := hub.WaitWorkers(*workers, 5*time.Minute); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d workers connected; trials will be dispatched remotely\n", hub.Workers())
+		rc.cluster = distrib.NewCluster(hub)
+		rc.cluster.TrialLease = *lease
+	}
 
 	if *patSweep != "" {
 		runPatienceSweep(rc, pickTopo(*topoName), *quick, *patSweep, *patJSON)
@@ -215,29 +264,24 @@ func runPatienceSweep(rc *runConfig, topo *topology.Topology, quick bool, spec, 
 }
 
 func pickTopo(name string) *topology.Topology {
-	if name == "heavyhex" {
+	switch name {
+	case "square":
+		return topology.SquareLattice66()
+	case "heavyhex":
 		return topology.HeavyHex57()
 	}
-	return topology.SquareLattice66()
+	// Same rationale as SchedulerFlags.Validate: a typo must not
+	// silently benchmark the wrong machine.
+	fmt.Fprintf(os.Stderr, "benchsuite: unknown -topology %q (want square or heavyhex)\n", name)
+	os.Exit(2)
+	return nil
 }
 
 func suite(quick bool) []bench.Entry {
-	all := bench.Suite()
-	if !quick {
-		return all
+	if quick {
+		return bench.QuickSuite()
 	}
-	// Quick subset: one circuit per class.
-	keep := map[string]bool{
-		"wstate_n27": true, "qft_n18": true, "qec9xz_n17": true,
-		"bigadder_n18": true, "knn_n25": true,
-	}
-	var out []bench.Entry
-	for _, e := range all {
-		if keep[e.Name] {
-			out = append(out, e)
-		}
-	}
-	return out
+	return bench.Suite()
 }
 
 func runTable3() {
@@ -319,6 +363,7 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 	var rows []bench.RoutingRow
 	addRow := func(name string, rep *transpile.Report) {
 		rows = append(rows, bench.RoutingRow{
+			Seq:     len(rows),
 			Circuit: name, Router: rep.Router,
 			WallMS:      float64(rep.Runtime.Microseconds()) / 1000,
 			DepthPulses: rep.DepthPulses, TotalGates: rep.TotalBasisGates,

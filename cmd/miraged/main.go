@@ -1,0 +1,234 @@
+// Command miraged is the distributed-trial daemon of the dispatch
+// subsystem: a worker that serves routing-trial and batch-transpile
+// jobs over gob/TCP, and a coordinator that shards the benchmark suite
+// across a worker fleet.
+//
+//	miraged worker -connect HOST:PORT
+//	miraged coordinator -listen ADDR -workers N [-quick] [-json BENCH_routing.json]
+//
+// Workers are stateless between jobs: each job ships its own circuit
+// batch or trial grid (with the shared FlatDAG prepared once per
+// worker per job), leases work-index ranges from the coordinator's
+// queue, and can die at any point — unfinished leases are re-granted
+// and, trials being deterministic in their index, the outcome is
+// bit-identical to a single-process run. cmd/benchsuite exposes the
+// same coordinator role via its -listen/-workers flags, so a serial
+// `benchsuite -fig 12` and a `benchsuite -listen ... -fig 12` with
+// miraged workers write row-identical BENCH_routing.json files (wall
+// times and cache traffic excepted); CI's loopback smoke lane asserts
+// exactly that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/dispatch"
+	"repro/internal/distrib"
+	"repro/internal/pool"
+	"repro/internal/sabre"
+	"repro/internal/topology"
+	"repro/internal/transpile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "worker":
+		runWorker(os.Args[2:])
+	case "coordinator":
+		runCoordinator(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  miraged worker -connect HOST:PORT [-retry N] [-chaos-fail-after N]
+  miraged coordinator -listen ADDR -workers N [-topology square|heavyhex]
+                      [-quick] [-trials N] [-seed N] [-patience N]
+                      [-lease N] [-json PATH]`)
+	os.Exit(2)
+}
+
+// runWorker dials the coordinator and serves jobs until the
+// connection closes. -retry reconnects after clean closes, so a
+// long-lived worker survives sequential coordinator processes.
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("miraged worker", flag.ExitOnError)
+	var (
+		connect   = fs.String("connect", "", "coordinator address (required)")
+		retry     = fs.Int("retry", 0, "reconnect attempts after the coordinator goes away (0 = exit on first close)")
+		chaosFail = fs.Int("chaos-fail-after", 0, "fault injection: sever the connection on the Nth lease (0 = off; exercises the coordinator's re-lease path)")
+	)
+	fs.Parse(args)
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "miraged worker: -connect is required")
+		os.Exit(2)
+	}
+	if *retry < 0 || *chaosFail < 0 {
+		fmt.Fprintln(os.Stderr, "miraged worker: -retry and -chaos-fail-after must be >= 0")
+		os.Exit(2)
+	}
+	var opts *dispatch.ServeOptions
+	if *chaosFail > 0 {
+		opts = &dispatch.ServeOptions{FailAfterLeases: *chaosFail}
+	}
+	for attempt := 0; ; attempt++ {
+		err := dispatch.ServeAddr(*connect, distrib.Handlers(), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "miraged worker: %v\n", err)
+		}
+		if attempt >= *retry {
+			if err != nil {
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+// runCoordinator shards the Fig. 12 suite (SABRE baseline + MIRAGE
+// depth selection per circuit) across the fleet at circuit granularity
+// and writes the merged BENCH_routing.json.
+func runCoordinator(args []string) {
+	fs := flag.NewFlagSet("miraged coordinator", flag.ExitOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7117", "address to accept workers on")
+		workers  = fs.Int("workers", 1, "workers to wait for before starting")
+		topoName = fs.String("topology", "square", "square | heavyhex")
+		quick    = fs.Bool("quick", false, "reduced circuit subset and trial counts")
+		trials   = fs.Int("trials", 0, "layout/routing trials (0 = 20/20, quick = 4/4)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		patience = fs.Int("patience", 0, "adaptive early-stop (0 = fixed grid)")
+		lease    = fs.Int("lease", 0, "circuits per work-queue lease (0 = default)")
+		jsonPath = fs.String("json", "BENCH_routing.json", "results file (empty = disabled)")
+	)
+	fs.Parse(args)
+	if err := (bench.SchedulerFlags{
+		Patience: *patience, Trials: *trials, Workers: *workers, Lease: *lease,
+	}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "miraged coordinator:", err)
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "miraged coordinator: -workers must be >= 1")
+		os.Exit(2)
+	}
+
+	lt, rt, fb := 20, 20, 4
+	if *quick {
+		lt, rt, fb = 4, 4, 2
+	}
+	if *trials > 0 {
+		lt, rt = *trials, *trials
+	}
+	var topo *topology.Topology
+	switch *topoName {
+	case "square":
+		topo = topology.SquareLattice66()
+	case "heavyhex":
+		topo = topology.HeavyHex57()
+	default:
+		fmt.Fprintf(os.Stderr, "miraged coordinator: unknown -topology %q (want square or heavyhex)\n", *topoName)
+		os.Exit(2)
+	}
+
+	hub := dispatch.NewHub()
+	addr, err := hub.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listening on %s: %v\n", *listen, err)
+		os.Exit(1)
+	}
+	defer hub.Close()
+	fmt.Printf("coordinator on %s; waiting for %d workers...\n", addr, *workers)
+	if err := hub.WaitWorkers(*workers, 5*time.Minute); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cl := distrib.NewCluster(hub)
+	cl.CircuitLease = *lease
+
+	entries := bench.Suite()
+	if *quick {
+		entries = bench.QuickSuite()
+	}
+	circuits := make([]*circuit.Circuit, len(entries))
+	for i, e := range entries {
+		circuits[i] = e.Build()
+	}
+
+	base := transpile.Options{
+		Layout: sabre.LayoutOptions{
+			LayoutTrials: lt, RoutingTrials: rt, FwdBwdPasses: fb, Seed: *seed,
+		},
+		ConvergencePatience: *patience,
+		SkipTrivialLayout:   true,
+	}
+	start := time.Now()
+	run := func(opts transpile.Options) []*transpile.Report {
+		reps, err := cl.TranspileBatch(circuits, topo, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return reps
+	}
+	sabreOpts := base
+	mirOpts := base
+	mirOpts.Router = transpile.MIRAGE
+	mirOpts.DepthSelection = true
+	qReps := run(sabreOpts)
+	mReps := run(mirOpts)
+	total := time.Since(start)
+
+	var rows []bench.RoutingRow
+	addRow := func(name string, rep *transpile.Report) {
+		rows = append(rows, bench.RoutingRow{
+			Seq:     len(rows),
+			Circuit: name, Router: rep.Router,
+			WallMS:      float64(rep.Runtime.Microseconds()) / 1000,
+			DepthPulses: rep.DepthPulses, TotalGates: rep.TotalBasisGates,
+			Swaps: rep.SwapsInserted, Mirrors: rep.MirrorsUsed,
+			TrialsExecuted: rep.TrialsExecuted, TrialsBudgeted: rep.TrialsBudgeted,
+		})
+	}
+	fmt.Printf("%-22s | %9s %9s | %6s %6s | %11s\n", "circuit", "q-depth", "m-depth", "q-swp", "m-swp", "trials")
+	for i, e := range entries {
+		q, m := qReps[i], mReps[i]
+		addRow(e.Name, q)
+		addRow(e.Name, m)
+		fmt.Printf("%-22s | %9.1f %9.1f | %6d %6d | %4d+%d/%d\n",
+			e.Name, q.DepthPulses, m.DepthPulses, q.SwapsInserted, m.SwapsInserted,
+			q.TrialsExecuted, m.TrialsExecuted, m.TrialsBudgeted)
+	}
+	fmt.Printf("total runtime: %s over %d workers\n", total.Round(time.Millisecond), hub.Workers())
+
+	if *jsonPath != "" {
+		f := &bench.RoutingBenchFile{
+			Topology:            topo.Name,
+			LayoutTrials:        lt,
+			RoutingTrials:       rt,
+			ConvergencePatience: *patience,
+			Seed:                *seed,
+			Parallelism:         pool.Size(0),
+			GOMAXPROCS:          runtime.GOMAXPROCS(0),
+			TotalWallMS:         float64(total.Microseconds()) / 1000,
+			Rows:                rows,
+		}
+		if err := f.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *jsonPath, len(f.Rows))
+	}
+}

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/bench"
@@ -26,6 +27,13 @@ func main() {
 		patience = flag.Int("patience", 0, "adaptive early-stop: consecutive non-improving trial indices before the scheduler stops (0 = fixed grid)")
 	)
 	flag.Parse()
+
+	if err := (bench.SchedulerFlags{
+		Parallel: *parallel, Patience: *patience, Trials: *trials,
+	}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "runtimecmp:", err)
+		os.Exit(2)
+	}
 
 	var ns []int
 	for {

@@ -45,6 +45,24 @@ func Suite() []Entry {
 	}
 }
 
+// QuickSuite returns the reduced -quick subset — one circuit per
+// benchmark class — shared by cmd/benchsuite and cmd/miraged so their
+// quick lanes always benchmark the same circuits (and their
+// BENCH_routing.json rows stay comparable).
+func QuickSuite() []Entry {
+	keep := map[string]bool{
+		"wstate_n27": true, "qft_n18": true, "qec9xz_n17": true,
+		"bigadder_n18": true, "knn_n25": true,
+	}
+	var out []Entry
+	for _, e := range Suite() {
+		if keep[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // ByName returns the named suite entry.
 func ByName(name string) (Entry, error) {
 	for _, e := range Suite() {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/decompose"
+	"repro/internal/dispatch"
 	"repro/internal/gates"
 	"repro/internal/linalg"
 	"repro/internal/sabre"
@@ -145,7 +146,12 @@ func RunKernelBenchmarks() ([]KernelRow, error) {
 			}
 			return nil
 		}},
-		{"sabre/FindBestRouting", func(b *testing.B) error {
+		// The @queue suffix marks the dispatch-queue scheduler era: the
+		// row was renamed when FindBestRouting moved from pool.Stream to
+		// the work-queue subsystem, so the first post-merge benchdiff
+		// sees a new row (warned, not gated) instead of comparing
+		// scheduler generations against each other.
+		{"sabre/FindBestRouting@queue", func(b *testing.B) error {
 			topo, c, _ := routingFixture()
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -157,6 +163,22 @@ func RunKernelBenchmarks() ([]KernelRow, error) {
 					LayoutTrials: 4, RoutingTrials: 4, FwdBwdPasses: 2, Seed: 3,
 					Parallelism: 1,
 				}, sabre.SwapCountMetric, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"dispatch/QueueStream", func(b *testing.B) error {
+			// Scheduler overhead floor: lease/complete/consume cycles on
+			// trivial work items, serial transport. Deterministic allocs.
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := dispatch.NewQueue(256, 1, func(int, int) bool { return false })
+				err := dispatch.RunLocal(q, 1,
+					func(int) struct{} { return struct{}{} },
+					func(t int, _ struct{}) (int, error) { return t, nil })
+				if err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func row(seq int, circuit, router string, depth float64) RoutingRow {
+	return RoutingRow{Seq: seq, Circuit: circuit, Router: router, DepthPulses: depth, WallMS: float64(seq) * 3}
+}
+
+func header() RoutingBenchFile {
+	return RoutingBenchFile{Topology: "square-6x6", LayoutTrials: 20, RoutingTrials: 20, Seed: 1}
+}
+
+// TestMergeRoutingFilesRestoresSerialOrder: fragments delivered in any
+// order, with interleaved seq assignments, merge back to the serial
+// row order.
+func TestMergeRoutingFilesRestoresSerialOrder(t *testing.T) {
+	a, b := header(), header()
+	a.TotalWallMS = 120
+	b.TotalWallMS = 200
+	a.Rows = []RoutingRow{row(2, "qft_n18", "sabre", 10), row(3, "qft_n18", "mirage", 8), row(0, "wstate_n27", "sabre", 5)}
+	b.Rows = []RoutingRow{row(1, "wstate_n27", "mirage", 4), row(4, "knn_n25", "sabre", 7), row(5, "knn_n25", "mirage", 6)}
+	a.Cache = &RoutingCacheStats{Hits: 10, Misses: 30, FinalEntries: 30}
+	b.Cache = &RoutingCacheStats{Hits: 50, Misses: 10, FinalEntries: 10}
+
+	merged, err := MergeRoutingFiles([]*RoutingBenchFile{&b, &a}) // reversed on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != 6 {
+		t.Fatalf("merged %d rows, want 6", len(merged.Rows))
+	}
+	wantOrder := []string{"wstate_n27/sabre", "wstate_n27/mirage", "qft_n18/sabre", "qft_n18/mirage", "knn_n25/sabre", "knn_n25/mirage"}
+	for i, r := range merged.Rows {
+		if got := r.Circuit + "/" + r.Router; got != wantOrder[i] {
+			t.Fatalf("row %d = %s, want %s", i, got, wantOrder[i])
+		}
+		if r.Seq != i {
+			t.Fatalf("row %d has seq %d", i, r.Seq)
+		}
+	}
+	if merged.TotalWallMS != 200 {
+		t.Fatalf("total wall %v, want the slowest shard's 200", merged.TotalWallMS)
+	}
+	if merged.Cache == nil || merged.Cache.Hits != 60 || merged.Cache.Misses != 40 {
+		t.Fatalf("cache stats not summed: %+v", merged.Cache)
+	}
+	if hr := merged.Cache.HitRate; hr != 0.6 {
+		t.Fatalf("hit rate %v, want 0.6", hr)
+	}
+}
+
+func TestMergeRoutingFilesRejectsMismatchedRuns(t *testing.T) {
+	a, b := header(), header()
+	a.Rows = []RoutingRow{row(0, "x", "sabre", 1)}
+	b.Rows = []RoutingRow{row(1, "x", "mirage", 1)}
+	b.Seed = 2
+	if _, err := MergeRoutingFiles([]*RoutingBenchFile{&a, &b}); err == nil {
+		t.Fatal("merged fragments from different seeds")
+	}
+}
+
+func TestMergeRoutingFilesRejectsGapsAndOverlaps(t *testing.T) {
+	a, b := header(), header()
+	a.Rows = []RoutingRow{row(0, "x", "sabre", 1), row(1, "x", "mirage", 1)}
+	b.Rows = []RoutingRow{row(3, "y", "sabre", 1)} // gap at 2
+	if _, err := MergeRoutingFiles([]*RoutingBenchFile{&a, &b}); err == nil {
+		t.Fatal("merged fragments with a missing shard")
+	}
+	b.Rows = []RoutingRow{row(1, "y", "sabre", 1)} // overlaps a
+	if _, err := MergeRoutingFiles([]*RoutingBenchFile{&a, &b}); err == nil {
+		t.Fatal("merged overlapping fragments")
+	}
+}
+
+func TestMergeRoutingFilesSingleFragmentRoundtrips(t *testing.T) {
+	a := header()
+	a.Rows = []RoutingRow{row(0, "x", "sabre", 1), row(1, "x", "mirage", 2)}
+	path := filepath.Join(t.TempDir(), "frag.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRoutingBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeRoutingFiles([]*RoutingBenchFile{back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != 2 || merged.Rows[1].DepthPulses != 2 {
+		t.Fatalf("single-fragment merge mangled rows: %+v", merged.Rows)
+	}
+}
+
+func TestAlignRows(t *testing.T) {
+	baseline := []RoutingRow{
+		row(0, "a", "sabre", 1), row(1, "a", "mirage", 2), row(2, "gone", "sabre", 3),
+	}
+	current := []RoutingRow{
+		row(0, "a", "sabre", 1.5), row(1, "a", "mirage", 2), row(2, "fresh", "mirage", 9),
+	}
+	al := AlignRows(baseline, current)
+	if len(al.Pairs) != 2 || len(al.Added) != 1 || len(al.Removed) != 1 {
+		t.Fatalf("alignment = %d pairs, %d added, %d removed", len(al.Pairs), len(al.Added), len(al.Removed))
+	}
+	if al.Pairs[0][0].DepthPulses != 1 || al.Pairs[0][1].DepthPulses != 1.5 {
+		t.Fatalf("pair 0 mismatched: %+v", al.Pairs[0])
+	}
+	if al.Added[0].Circuit != "fresh" {
+		t.Fatalf("added = %+v", al.Added)
+	}
+	if al.Removed[0] != (RowKey{"gone", "sabre"}) {
+		t.Fatalf("removed = %+v", al.Removed)
+	}
+}
+
+func TestSchedulerFlagsValidate(t *testing.T) {
+	ok := []SchedulerFlags{
+		{},
+		{Parallel: 8, Patience: 120, Trials: 20, ScoreWorkers: 4, Workers: 2, Lease: 8},
+	}
+	for _, f := range ok {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("valid flags %+v rejected: %v", f, err)
+		}
+	}
+	bad := []SchedulerFlags{
+		{Parallel: -1},
+		{Patience: -5},
+		{Trials: -2},
+		{ScoreWorkers: -1},
+		{Workers: -3},
+		{Lease: -1},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("invalid flags %+v accepted", f)
+		}
+	}
+}

@@ -14,6 +14,11 @@ import (
 
 // RoutingRow is one circuit x router measurement.
 type RoutingRow struct {
+	// Seq is the row's ordinal in the full suite's emission order: the
+	// shard-merge key (see MergeRoutingFiles). Single-file runs number
+	// their rows 0..n-1 too, so any run can later be treated as a
+	// one-fragment merge input.
+	Seq         int     `json:"seq"`
 	Circuit     string  `json:"circuit"`
 	Router      string  `json:"router"`
 	WallMS      float64 `json:"wall_ms"`

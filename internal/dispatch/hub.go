@@ -1,0 +1,252 @@
+package dispatch
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Hub is the coordinator side of the TCP transport: a persistent pool
+// of worker connections that serves jobs sequentially. Workers dial in
+// once (ServeAddr / miraged worker) and stay connected across jobs; a
+// worker lost mid-job has its leases failed back to the queue and is
+// dropped from the pool, and the job completes on the survivors with
+// bit-identical results — work items are deterministic in their index,
+// so a re-leased range reproduces exactly what the lost worker would
+// have returned.
+type Hub struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	conns map[*hubConn]bool
+	ln    net.Listener
+	jobMu sync.Mutex // serialises RunJob calls
+}
+
+type hubConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewHub returns an empty worker pool.
+func NewHub() *Hub {
+	h := &Hub{conns: make(map[*hubConn]bool)}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Listen starts accepting worker connections on addr (e.g.
+// "127.0.0.1:0"); the returned address carries the bound port. Accepted
+// connections join the pool immediately and are picked up by the next
+// RunJob call.
+func (h *Hub) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.ln = ln
+	h.mu.Unlock()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			h.AddConn(c)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// AddConn adds an established worker connection to the pool (the seam
+// tests use to wire in-process workers over loopback or pipes).
+func (h *Hub) AddConn(c net.Conn) {
+	h.mu.Lock()
+	h.conns[&hubConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}] = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Workers returns the number of pooled connections.
+func (h *Hub) Workers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// WaitWorkers blocks until at least n workers are pooled or the
+// timeout elapses (timeout <= 0 waits forever).
+func (h *Hub) WaitWorkers(n int, timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		time.AfterFunc(timeout, func() {
+			h.mu.Lock()
+			h.cond.Broadcast()
+			h.mu.Unlock()
+		})
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.conns) < n {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return fmt.Errorf("dispatch: %d of %d workers connected after %s", len(h.conns), n, timeout)
+		}
+		h.cond.Wait()
+	}
+	return nil
+}
+
+// Close stops accepting and closes every pooled connection (workers
+// see EOF and exit their serve loop).
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ln != nil {
+		h.ln.Close()
+		h.ln = nil
+	}
+	for hc := range h.conns {
+		hc.c.Close()
+		delete(h.conns, hc)
+	}
+}
+
+func (h *Hub) drop(hc *hubConn) {
+	h.mu.Lock()
+	if h.conns[hc] {
+		delete(h.conns, hc)
+		hc.c.Close()
+	}
+	h.mu.Unlock()
+}
+
+// RunJob runs one job over every currently pooled worker: each worker
+// receives (kind, spec), prepares, and then pumps leases from q until
+// the queue is finished. fromWire converts a wire item's payload into
+// the queue's result type (a conversion failure is consumed as that
+// item's error, deterministically). It returns the per-worker epilogue
+// blobs of the workers that finished the job, and the queue's error —
+// the same error a local run would have returned.
+//
+// Workers that decline the job (bad spec) sit the job out but stay
+// pooled; workers whose connection fails mid-job have their leases
+// failed back for re-granting and are dropped. If every worker is
+// gone or declined before the queue finishes, RunJob fails — there is
+// deliberately no silent local fallback, so a misconfigured fleet is
+// loud. Jobs are serialised: concurrent RunJob calls queue behind one
+// another. Workers that connect mid-job idle until the next job.
+func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(WireItem) (T, error)) ([][]byte, error) {
+	h.jobMu.Lock()
+	defer h.jobMu.Unlock()
+
+	h.mu.Lock()
+	conns := make([]*hubConn, 0, len(h.conns))
+	for hc := range h.conns {
+		conns = append(conns, hc)
+	}
+	h.mu.Unlock()
+	if len(conns) == 0 {
+		return nil, errors.New("dispatch: no workers connected")
+	}
+
+	var (
+		epMu      sync.Mutex
+		epilogues [][]byte
+		lastErr   error
+	)
+	var wg sync.WaitGroup
+	wg.Add(len(conns))
+	for _, hc := range conns {
+		go func(hc *hubConn) {
+			defer wg.Done()
+			ep, err := pumpJob(hc, kind, spec, q, fromWire)
+			epMu.Lock()
+			defer epMu.Unlock()
+			if err != nil {
+				lastErr = err
+				h.drop(hc)
+				return
+			}
+			if ep != nil {
+				epilogues = append(epilogues, ep)
+			}
+		}(hc)
+	}
+	wg.Wait()
+
+	if !q.Finished() {
+		if lastErr == nil {
+			lastErr = errors.New("dispatch: all workers declined the job")
+		}
+		return nil, fmt.Errorf("dispatch: job %q unfinished: %w", kind, lastErr)
+	}
+	return epilogues, q.Err()
+}
+
+// pumpJob drives one worker connection through one job. Returns the
+// worker's epilogue blob (nil when it declined) or a transport error.
+func pumpJob[T any](hc *hubConn, kind string, spec []byte, q *Queue[T], fromWire func(WireItem) (T, error)) ([]byte, error) {
+	if err := hc.enc.Encode(wireJob{Kind: kind, Spec: spec}); err != nil {
+		return nil, err
+	}
+	var ready wireReady
+	if err := hc.dec.Decode(&ready); err != nil {
+		return nil, err
+	}
+	if ready.Err != "" {
+		// Declined: the worker is already waiting for the next job.
+		return nil, nil
+	}
+	items := make([]Completed[T], 0, 16)
+	for {
+		l, ok := q.LeaseWait()
+		if !ok {
+			break
+		}
+		if err := hc.enc.Encode(wireLease{ID: l.ID, Lo: l.Lo, Hi: l.Hi}); err != nil {
+			q.Fail(l.ID)
+			return nil, err
+		}
+		var res wireResults
+		if err := hc.dec.Decode(&res); err != nil {
+			q.Fail(l.ID)
+			return nil, err
+		}
+		if res.LeaseID != l.ID {
+			q.Fail(l.ID)
+			return nil, fmt.Errorf("dispatch: worker answered lease %d with results for lease %d", l.ID, res.LeaseID)
+		}
+		items = items[:0]
+		for _, wi := range res.Items {
+			items = append(items, completedFromWire(wi, fromWire))
+		}
+		q.Complete(l.ID, items)
+	}
+	if err := hc.enc.Encode(wireLease{Done: true}); err != nil {
+		return nil, err
+	}
+	var ep wireEpilogue
+	if err := hc.dec.Decode(&ep); err != nil {
+		return nil, err
+	}
+	if ep.Blob == nil {
+		ep.Blob = []byte{}
+	}
+	return ep.Blob, nil
+}
+
+func completedFromWire[T any](wi WireItem, fromWire func(WireItem) (T, error)) Completed[T] {
+	if wi.Err != "" {
+		return Completed[T]{Index: wi.Index, Err: errors.New(wi.Err)}
+	}
+	v, err := fromWire(wi)
+	if err != nil {
+		return Completed[T]{Index: wi.Index, Err: fmt.Errorf("dispatch: decoding result %d: %w", wi.Index, err)}
+	}
+	return Completed[T]{Index: wi.Index, Value: v}
+}

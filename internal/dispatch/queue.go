@@ -1,0 +1,284 @@
+package dispatch
+
+import "sync"
+
+// Queue is the coordinator-side state machine of the work-queue
+// subsystem: it grants leases over the index range [0, max), accepts
+// completed results from any transport, and feeds them to a single
+// consume callback serially and in strict index order, stopping the
+// moment consume returns true or an error is consumed. It implements
+// both TrialSource and TrialSink.
+//
+// Determinism: consume(i, v) is called with i strictly increasing from
+// 0 with no gaps, under the queue's lock, so the consumer needs no
+// synchronisation of its own and observes exactly the sequence a
+// serial loop over deterministic work items would produce. The prefix
+// of consumed indices — and therefore the stop decision, the winner of
+// an argmin, an executed-trial count — is independent of worker count,
+// lease size, and completion order. Results arriving for indices past
+// the stop point are discarded.
+//
+// Failure: an error reported for index i is consumed at position i
+// like any result; the queue then stops with that error. When several
+// indices error, the one at the lowest consumed index wins — the same
+// error a serial loop would have returned. The consume callback must
+// not call back into the queue (it runs under the lock).
+type Queue[T any] struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	max       int
+	leaseSize int
+	next      int // lowest never-granted index
+
+	nextID  uint64
+	leases  map[uint64]leaseSpan
+	release []leaseSpan // failed spans awaiting re-grant, lowest first
+
+	done     []bool // per-index: result received (consumed or pending)
+	pending  map[int]Completed[T]
+	consumed int
+	stopped  bool
+	firstErr error
+	consume  func(i int, v T) bool
+}
+
+type leaseSpan struct{ lo, hi int }
+
+// NewQueue builds a queue over max work indices. leaseSize bounds how
+// many indices one Lease call grants (<= 0 means 1); larger leases
+// amortise transport round-trips at the cost of more discarded work
+// when the consumer stops early — they never change what is consumed.
+// consume may be nil when the caller only needs completion tracking.
+func NewQueue[T any](max, leaseSize int, consume func(i int, v T) bool) *Queue[T] {
+	if max < 0 {
+		max = 0
+	}
+	if leaseSize <= 0 {
+		leaseSize = 1
+	}
+	if consume == nil {
+		consume = func(int, T) bool { return false }
+	}
+	q := &Queue[T]{
+		max:       max,
+		leaseSize: leaseSize,
+		leases:    make(map[uint64]leaseSpan),
+		done:      make([]bool, max),
+		pending:   make(map[int]Completed[T]),
+		consume:   consume,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Max returns the total number of work indices.
+func (q *Queue[T]) Max() int { return q.max }
+
+// finishedLocked reports completion under the lock.
+func (q *Queue[T]) finishedLocked() bool {
+	return q.stopped || q.consumed == q.max
+}
+
+// Lease grants the next range of work: re-leased spans first (lowest
+// index first — the consumer is blocked on them), then fresh indices.
+func (q *Queue[T]) Lease() (Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.leaseLocked()
+}
+
+func (q *Queue[T]) leaseLocked() (Lease, bool) {
+	if q.finishedLocked() {
+		return Lease{}, false
+	}
+	var span leaseSpan
+	switch {
+	case len(q.release) > 0:
+		span = q.release[0]
+		if span.hi-span.lo > q.leaseSize {
+			q.release[0].lo = span.lo + q.leaseSize
+			span.hi = span.lo + q.leaseSize
+		} else {
+			q.release = q.release[1:]
+		}
+	case q.next < q.max:
+		span = leaseSpan{q.next, q.next + q.leaseSize}
+		if span.hi > q.max {
+			span.hi = q.max
+		}
+		q.next = span.hi
+	default:
+		return Lease{}, false
+	}
+	q.nextID++
+	q.leases[q.nextID] = span
+	return Lease{ID: q.nextID, Lo: span.lo, Hi: span.hi}, true
+}
+
+// LeaseWait blocks until work is grantable or the queue is finished.
+// Unlike Lease, it keeps a transport goroutine parked across the
+// window where all remaining work is held by other workers — if one of
+// them fails, the re-leased span wakes a waiter.
+func (q *Queue[T]) LeaseWait() (Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if l, ok := q.leaseLocked(); ok {
+			return l, true
+		}
+		if q.finishedLocked() {
+			return Lease{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// Complete reports finished work items. Items from unknown (failed or
+// already-completed) leases and items for indices already reported are
+// ignored — see TrialSink. Results are buffered and drained to the
+// consumer in index order; once the consumer stops (or an error is
+// consumed) the queue is finished and all waiters wake.
+func (q *Queue[T]) Complete(id uint64, items []Completed[T]) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	span, ok := q.leases[id]
+	if !ok {
+		return
+	}
+	for _, it := range items {
+		if it.Index < span.lo || it.Index >= span.hi || q.done[it.Index] {
+			continue
+		}
+		q.done[it.Index] = true
+		if !q.stopped && it.Index >= q.consumed {
+			q.pending[it.Index] = it
+		}
+	}
+	if q.leaseDoneLocked(span) {
+		delete(q.leases, id)
+	}
+	q.drainLocked()
+}
+
+func (q *Queue[T]) leaseDoneLocked(span leaseSpan) bool {
+	for i := span.lo; i < span.hi; i++ {
+		if !q.done[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// drainLocked feeds buffered results to the consumer in index order
+// and broadcasts when the queue's state could unblock a waiter.
+func (q *Queue[T]) drainLocked() {
+	for !q.stopped {
+		it, ok := q.pending[q.consumed]
+		if !ok {
+			break
+		}
+		delete(q.pending, q.consumed)
+		q.consumed++
+		if it.Err != nil {
+			q.firstErr = it.Err
+			q.stopped = true
+		} else if q.consume(it.Index, it.Value) {
+			q.stopped = true
+		}
+	}
+	if q.stopped {
+		// Nothing pending will ever be consumed.
+		for k := range q.pending {
+			delete(q.pending, k)
+		}
+	}
+	if q.finishedLocked() {
+		q.cond.Broadcast()
+	}
+}
+
+// Fail returns a lease's unfinished indices to the queue. Indices the
+// lease already reported stay reported. Unknown lease IDs are ignored,
+// so transports may Fail unconditionally on any worker error.
+func (q *Queue[T]) Fail(id uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	span, ok := q.leases[id]
+	if !ok {
+		return
+	}
+	delete(q.leases, id)
+	if q.finishedLocked() {
+		return
+	}
+	// Collect the maximal unfinished sub-spans, keeping release sorted
+	// by lo so re-grants happen lowest-first.
+	for i := span.lo; i < span.hi; {
+		if q.done[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < span.hi && !q.done[j] {
+			j++
+		}
+		q.insertReleaseLocked(leaseSpan{i, j})
+		i = j
+	}
+	q.cond.Broadcast()
+}
+
+func (q *Queue[T]) insertReleaseLocked(s leaseSpan) {
+	at := len(q.release)
+	for k, r := range q.release {
+		if s.lo < r.lo {
+			at = k
+			break
+		}
+	}
+	q.release = append(q.release, leaseSpan{})
+	copy(q.release[at+1:], q.release[at:])
+	q.release[at] = s
+}
+
+// Finished reports whether no further results are needed.
+func (q *Queue[T]) Finished() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.finishedLocked()
+}
+
+// Consumed returns how many indices the consumer has seen — the
+// deterministic executed-work count (TrialsExecuted for trial grids).
+func (q *Queue[T]) Consumed() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.consumed
+}
+
+// Err returns the consumed error that stopped the queue, if any.
+func (q *Queue[T]) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.firstErr
+}
+
+// Wait blocks until the queue is finished and returns Err. It does not
+// wait for transports to retire in-flight work; transports own that
+// (RunLocal and Hub.RunJob only return once their workers have).
+func (q *Queue[T]) Wait() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.finishedLocked() {
+		q.cond.Wait()
+	}
+	return q.firstErr
+}
+
+// Interface conformance.
+var (
+	_ TrialSource        = (*Queue[int])(nil)
+	_ TrialSink[int]     = (*Queue[int])(nil)
+	_ TrialSink[float64] = (*Queue[float64])(nil)
+)

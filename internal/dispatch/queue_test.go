@@ -1,0 +1,236 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// drainAll leases everything and completes it, simulating one worker.
+func drainAll(q *Queue[int], value func(i int) int) {
+	for {
+		l, ok := q.Lease()
+		if !ok {
+			return
+		}
+		var items []Completed[int]
+		for i := l.Lo; i < l.Hi; i++ {
+			items = append(items, Completed[int]{Index: i, Value: value(i)})
+		}
+		q.Complete(l.ID, items)
+	}
+}
+
+func TestQueueConsumesInIndexOrder(t *testing.T) {
+	for _, lease := range []int{1, 3, 7, 100} {
+		var seen []int
+		q := NewQueue(10, lease, func(i, v int) bool {
+			if v != i*i {
+				t.Fatalf("lease=%d: consume(%d) got %d, want %d", lease, i, v, i*i)
+			}
+			seen = append(seen, i)
+			return false
+		})
+		// Complete leases in reverse grant order: consumption must still
+		// be 0..9.
+		var leases []Lease
+		for {
+			l, ok := q.Lease()
+			if !ok {
+				break
+			}
+			leases = append(leases, l)
+		}
+		for k := len(leases) - 1; k >= 0; k-- {
+			l := leases[k]
+			var items []Completed[int]
+			for i := l.Lo; i < l.Hi; i++ {
+				items = append(items, Completed[int]{Index: i, Value: i * i})
+			}
+			q.Complete(l.ID, items)
+		}
+		if err := q.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range seen {
+			if v != i {
+				t.Fatalf("lease=%d: consume order %v", lease, seen)
+			}
+		}
+		if len(seen) != 10 || q.Consumed() != 10 {
+			t.Fatalf("lease=%d: consumed %d/%v", lease, q.Consumed(), seen)
+		}
+	}
+}
+
+func TestQueueEarlyStopDiscardsTail(t *testing.T) {
+	var seen []int
+	q := NewQueue(100, 1, func(i, v int) bool { return i == 4 })
+	drainAll(q, func(i int) int { seen = append(seen, i); return i })
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Consumed() != 5 {
+		t.Fatalf("consumed %d, want 5 (prefix [0,5))", q.Consumed())
+	}
+	if !q.Finished() {
+		t.Fatal("queue not finished after stop")
+	}
+	// After the stop, Lease must grant nothing.
+	if _, ok := q.Lease(); ok {
+		t.Fatal("lease granted after stop")
+	}
+}
+
+func TestQueueErrorAtLowestConsumedIndex(t *testing.T) {
+	q := NewQueue(20, 1, func(i, v int) bool { return false })
+	var leases []Lease
+	for {
+		l, ok := q.Lease()
+		if !ok {
+			break
+		}
+		leases = append(leases, l)
+	}
+	// Errors at 7 and 3 complete out of order (7 first): the queue must
+	// stop with the error at 3 — the lowest consumed failing index —
+	// and never consume past it.
+	fail := func(i int) Completed[int] {
+		return Completed[int]{Index: i, Err: fmt.Errorf("boom %d", i)}
+	}
+	okItem := func(i int) Completed[int] { return Completed[int]{Index: i, Value: i} }
+	for _, l := range leases {
+		switch l.Lo {
+		case 7:
+			q.Complete(l.ID, []Completed[int]{fail(7)})
+		}
+	}
+	for _, l := range leases {
+		switch l.Lo {
+		case 3:
+			q.Complete(l.ID, []Completed[int]{fail(3)})
+		default:
+			q.Complete(l.ID, []Completed[int]{okItem(l.Lo)})
+		}
+	}
+	err := q.Wait()
+	if err == nil || err.Error() != "boom 3" {
+		t.Fatalf("err = %v, want boom 3", err)
+	}
+	if q.Consumed() != 4 {
+		t.Fatalf("consumed %d, want 4 (indices 0..3)", q.Consumed())
+	}
+}
+
+func TestQueueFailReleasesUnfinishedIndices(t *testing.T) {
+	q := NewQueue(10, 4, func(i, v int) bool { return false })
+	l1, ok := q.Lease() // [0,4)
+	if !ok || l1.Lo != 0 || l1.Hi != 4 {
+		t.Fatalf("lease 1 = %+v", l1)
+	}
+	// Report only index 1, then lose the worker.
+	q.Complete(l1.ID, []Completed[int]{{Index: 1, Value: 1}})
+	q.Fail(l1.ID)
+
+	// Re-grant must come lowest-first and skip the completed index:
+	// spans [0,1) and [2,4) before fresh [4,8).
+	l2, _ := q.Lease()
+	if l2.Lo != 0 || l2.Hi != 1 {
+		t.Fatalf("re-lease = [%d,%d), want [0,1)", l2.Lo, l2.Hi)
+	}
+	l3, _ := q.Lease()
+	if l3.Lo != 2 || l3.Hi != 4 {
+		t.Fatalf("re-lease = [%d,%d), want [2,4)", l3.Lo, l3.Hi)
+	}
+	l4, _ := q.Lease()
+	if l4.Lo != 4 {
+		t.Fatalf("fresh lease starts at %d, want 4", l4.Lo)
+	}
+
+	// Late results from the failed lease are ignored (revoked ID).
+	q.Complete(l1.ID, []Completed[int]{{Index: 0, Value: 999}})
+	q.Complete(l2.ID, []Completed[int]{{Index: 0, Value: 0}})
+	q.Complete(l3.ID, []Completed[int]{{Index: 2, Value: 2}, {Index: 3, Value: 3}})
+	q.Complete(l4.ID, []Completed[int]{{Index: 4, Value: 4}, {Index: 5, Value: 5}, {Index: 6, Value: 6}, {Index: 7, Value: 7}})
+	drainAll(q, func(i int) int { return i })
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Consumed() != 10 {
+		t.Fatalf("consumed %d, want 10", q.Consumed())
+	}
+}
+
+func TestQueueDuplicateCompletionsIgnored(t *testing.T) {
+	calls := 0
+	q := NewQueue(3, 3, func(i, v int) bool { calls++; return false })
+	l, _ := q.Lease()
+	items := []Completed[int]{{Index: 0}, {Index: 1}, {Index: 2}}
+	q.Complete(l.ID, items)
+	q.Complete(l.ID, items) // duplicate: lease already retired
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("consume called %d times, want 3", calls)
+	}
+}
+
+func TestQueueOutOfRangeItemsIgnored(t *testing.T) {
+	q := NewQueue[int](4, 2, nil)
+	l, _ := q.Lease()                                        // [0,2)
+	q.Complete(l.ID, []Completed[int]{{Index: 3, Value: 3}}) // outside the lease
+	if q.Consumed() != 0 {
+		t.Fatal("out-of-lease item was accepted")
+	}
+	q.Complete(l.ID, []Completed[int]{{Index: 0}, {Index: 1}})
+	drainAll(q, func(i int) int { return i })
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueLeaseWaitWakesOnFail(t *testing.T) {
+	q := NewQueue[int](2, 2, nil)
+	l, _ := q.Lease() // everything outstanding
+	got := make(chan Lease, 1)
+	go func() {
+		l2, ok := q.LeaseWait()
+		if !ok {
+			t.Error("LeaseWait returned !ok with work re-leasable")
+		}
+		got <- l2
+	}()
+	q.Fail(l.ID)
+	l2 := <-got
+	if l2.Lo != 0 || l2.Hi != 2 {
+		t.Fatalf("re-lease = [%d,%d), want [0,2)", l2.Lo, l2.Hi)
+	}
+	q.Complete(l2.ID, []Completed[int]{{Index: 0}, {Index: 1}})
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueZeroWork(t *testing.T) {
+	q := NewQueue[int](0, 1, nil)
+	if !q.Finished() {
+		t.Fatal("empty queue not finished")
+	}
+	if _, ok := q.Lease(); ok {
+		t.Fatal("empty queue granted a lease")
+	}
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueWaitReturnsConsumedError(t *testing.T) {
+	want := errors.New("nope")
+	q := NewQueue[int](1, 1, nil)
+	l, _ := q.Lease()
+	q.Complete(l.ID, []Completed[int]{{Index: 0, Err: want}})
+	if err := q.Wait(); !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package dispatch
+
+// The gob wire protocol of the TCP transport. A connection belongs to
+// one worker and serves any number of sequential jobs; within a job
+// the conversation is strictly lockstep, so each side always knows the
+// concrete type of the next message and no envelope tagging is needed:
+//
+//	coordinator -> worker   wireJob{Kind, Spec}
+//	worker -> coordinator   wireReady{Err}            (declines the job when Err != "")
+//	repeat:
+//	  coordinator -> worker wireLease{ID, Lo, Hi}
+//	  worker -> coordinator wireResults{LeaseID, Items}
+//	finally:
+//	  coordinator -> worker wireLease{Done: true}
+//	  worker -> coordinator wireEpilogue{Blob}
+//
+// Specs, result blobs and epilogues are opaque byte slices: the job
+// kinds (internal/distrib) define their contents. Scores ride in a
+// dedicated field so the trial hot path never round-trips a float
+// through a nested encoder.
+
+// WireItem is one completed work item on the wire. Index is the work
+// index; exactly one of Score/Blob carries the payload depending on
+// the job kind; Err, when non-empty, reports the item's failure (it is
+// consumed in deterministic index order like any local error).
+type WireItem struct {
+	Index int
+	Score float64
+	Blob  []byte
+	Err   string
+}
+
+type wireJob struct {
+	Kind string
+	Spec []byte
+}
+
+type wireReady struct {
+	Err string
+}
+
+type wireLease struct {
+	ID     uint64
+	Lo, Hi int
+	Done   bool
+}
+
+type wireResults struct {
+	LeaseID uint64
+	Items   []WireItem
+}
+
+type wireEpilogue struct {
+	Blob []byte
+}

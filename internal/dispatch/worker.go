@@ -1,0 +1,132 @@
+package dispatch
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Handler prepares one job kind on the worker: it decodes the opaque
+// spec, builds whatever shared immutable state the job needs (a
+// prepared TrialRunner DAG, a decoded circuit batch), and returns the
+// runner that executes individual work indices. Returning an error
+// declines the job; the worker stays connected for the next one.
+type Handler func(spec []byte) (JobRunner, error)
+
+// JobRunner executes the work indices of one prepared job. Run is
+// called from a single goroutine in ascending index order within each
+// lease, so it may reuse mutable state (the trial arena) across calls;
+// it must be deterministic in i — that is what makes re-leasing after
+// a worker loss idempotent. Epilogue is called once, after the
+// coordinator has declared the job done, and may ship summary state
+// home (the batch job returns its warmed cost-cache snapshot).
+type JobRunner interface {
+	Run(i int) WireItem
+	Epilogue() []byte
+}
+
+// ServeOptions tunes a worker serve loop.
+type ServeOptions struct {
+	// FailAfterLeases, when positive, makes the worker sever its
+	// connection upon receiving its Nth lease, without responding —
+	// deliberate fault injection for exercising the coordinator's
+	// re-lease path (tests and the CI chaos lane). 0 disables.
+	FailAfterLeases int
+}
+
+// errFaultInjected reports a deliberate FailAfterLeases death.
+var errFaultInjected = errors.New("dispatch: worker died by fault injection")
+
+// ServeConn runs the worker side of the wire protocol on an
+// established connection until the coordinator closes it (clean EOF
+// returns nil). handlers maps job kinds to their preparation
+// functions; an unknown kind declines the job. A panic inside
+// JobRunner.Run is reported as that item's error rather than killing
+// the worker process.
+func ServeConn(conn net.Conn, handlers map[string]Handler, opts *ServeOptions) error {
+	if opts == nil {
+		opts = &ServeOptions{}
+	}
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	leases := 0
+	for {
+		var job wireJob
+		if err := dec.Decode(&job); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		runner, prepErr := prepare(handlers, job)
+		if prepErr != nil {
+			if err := enc.Encode(wireReady{Err: prepErr.Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := enc.Encode(wireReady{}); err != nil {
+			return err
+		}
+		for {
+			var l wireLease
+			if err := dec.Decode(&l); err != nil {
+				return err
+			}
+			if l.Done {
+				if err := enc.Encode(wireEpilogue{Blob: runner.Epilogue()}); err != nil {
+					return err
+				}
+				break
+			}
+			leases++
+			if opts.FailAfterLeases > 0 && leases >= opts.FailAfterLeases {
+				conn.Close()
+				return errFaultInjected
+			}
+			items := make([]WireItem, 0, l.Hi-l.Lo)
+			for i := l.Lo; i < l.Hi; i++ {
+				items = append(items, runSafe(runner, i))
+			}
+			if err := enc.Encode(wireResults{LeaseID: l.ID, Items: items}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func prepare(handlers map[string]Handler, job wireJob) (runner JobRunner, err error) {
+	h, ok := handlers[job.Kind]
+	if !ok {
+		return nil, fmt.Errorf("dispatch: unknown job kind %q", job.Kind)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			runner, err = nil, fmt.Errorf("dispatch: preparing job %q: panic: %v", job.Kind, r)
+		}
+	}()
+	return h(job.Spec)
+}
+
+func runSafe(r JobRunner, i int) (item WireItem) {
+	defer func() {
+		if p := recover(); p != nil {
+			item = WireItem{Index: i, Err: fmt.Sprintf("worker panic: %v", p)}
+		}
+	}()
+	item = r.Run(i)
+	item.Index = i
+	return item
+}
+
+// ServeAddr dials the coordinator and serves jobs until the
+// connection closes. This is the body of `miraged worker`.
+func ServeAddr(addr string, handlers map[string]Handler, opts *ServeOptions) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return ServeConn(conn, handlers, opts)
+}

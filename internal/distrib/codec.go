@@ -1,0 +1,167 @@
+package distrib
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/topology"
+	"repro/internal/weyl"
+)
+
+// The wire representation of the IR. Gates travel as (name, params,
+// matrix) triples and are reconstructed as custom gates: the matrix is
+// the part routing and metrics actually compute on, and gob transmits
+// complex128 exactly, so a decoded circuit transpiles bit-identically
+// to the original. Coordinates are inlined (not pointers) because gob
+// cannot round-trip nil-vs-zero through pointer fields reliably.
+
+type wireOp struct {
+	Name       string
+	GateQubits int
+	Params     []float64
+	Mat        []complex128 // row-major, 2^GateQubits square
+	Qubits     []int
+	RouterSwap bool
+	Mirrored   bool
+	HasCoord   bool
+	Coord      weyl.Coordinate
+}
+
+type wireCircuit struct {
+	Name      string
+	NumQubits int
+	Ops       []wireOp
+}
+
+type wireTopology struct {
+	Name      string
+	NumQubits int
+	Edges     [][2]int
+}
+
+func circuitToWire(c *circuit.Circuit) wireCircuit {
+	w := wireCircuit{Name: c.Name, NumQubits: c.NumQubits, Ops: make([]wireOp, len(c.Ops))}
+	for i, op := range c.Ops {
+		m := op.Gate.Matrix()
+		wo := wireOp{
+			Name:       op.Gate.Name,
+			GateQubits: op.Gate.Qubits,
+			Params:     op.Gate.Params,
+			Mat:        m.Data,
+			Qubits:     op.Qubits,
+			RouterSwap: op.RouterSwap,
+			Mirrored:   op.Mirrored,
+		}
+		if op.Coord != nil {
+			wo.HasCoord = true
+			wo.Coord = *op.Coord
+		}
+		w.Ops[i] = wo
+	}
+	return w
+}
+
+func circuitFromWire(w wireCircuit) (*circuit.Circuit, error) {
+	if w.NumQubits <= 0 {
+		return nil, fmt.Errorf("distrib: circuit %q has %d qubits", w.Name, w.NumQubits)
+	}
+	c := circuit.New(w.Name, w.NumQubits)
+	for i, wo := range w.Ops {
+		side := 1 << wo.GateQubits
+		if wo.GateQubits < 1 || len(wo.Mat) != side*side {
+			return nil, fmt.Errorf("distrib: op %d (%s) has a %d-element matrix for %d qubits",
+				i, wo.Name, len(wo.Mat), wo.GateQubits)
+		}
+		g := gates.NewCustomWithParams(wo.Name, wo.GateQubits, wo.Params,
+			linalg.FromSlice(side, side, wo.Mat))
+		op := circuit.Op{
+			Gate:       g,
+			Qubits:     wo.Qubits,
+			RouterSwap: wo.RouterSwap,
+			Mirrored:   wo.Mirrored,
+		}
+		if wo.HasCoord {
+			coord := wo.Coord
+			op.Coord = &coord
+		}
+		if err := validOp(c, op); err != nil {
+			return nil, fmt.Errorf("distrib: op %d: %w", i, err)
+		}
+		c.Append(op)
+	}
+	return c, nil
+}
+
+// validOp pre-checks what circuit.Append would panic on, so a
+// malformed wire circuit declines the job instead of crashing the
+// worker's serve loop.
+func validOp(c *circuit.Circuit, op circuit.Op) error {
+	if len(op.Qubits) == 0 || len(op.Qubits) != op.Gate.Qubits {
+		return fmt.Errorf("op %s has %d qubits, gate expects %d", op.Gate.Name, len(op.Qubits), op.Gate.Qubits)
+	}
+	seen := map[int]bool{}
+	for _, q := range op.Qubits {
+		if q < 0 || q >= c.NumQubits {
+			return fmt.Errorf("qubit %d out of range [0, %d)", q, c.NumQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("duplicate qubit %d", q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+func topologyToWire(t *topology.Topology) wireTopology {
+	return wireTopology{Name: t.Name, NumQubits: t.NumQubits, Edges: t.Edges()}
+}
+
+func topologyFromWire(w wireTopology) (t *topology.Topology, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, fmt.Errorf("distrib: rebuilding topology %q: %v", w.Name, r)
+		}
+	}()
+	if w.NumQubits <= 0 {
+		return nil, fmt.Errorf("distrib: topology %q has %d qubits", w.Name, w.NumQubits)
+	}
+	t = topology.New(w.Name, w.NumQubits, w.Edges)
+	return t, nil
+}
+
+func layoutsToWire(layouts []*topology.Layout) [][]int {
+	out := make([][]int, len(layouts))
+	for i, l := range layouts {
+		out[i] = l.L2P
+	}
+	return out
+}
+
+func layoutsFromWire(w [][]int, numPhysical int) ([]*topology.Layout, error) {
+	out := make([]*topology.Layout, len(w))
+	for i, l2p := range w {
+		for _, p := range l2p {
+			if p < 0 || p >= numPhysical {
+				return nil, fmt.Errorf("distrib: layout %d maps onto physical qubit %d of %d", i, p, numPhysical)
+			}
+		}
+		out[i] = topology.NewLayout(l2p, numPhysical)
+	}
+	return out, nil
+}
+
+func layoutToWire(l *topology.Layout) []int {
+	if l == nil {
+		return nil
+	}
+	return l.L2P
+}
+
+func layoutFromWire(l2p []int, numPhysical int) *topology.Layout {
+	if l2p == nil {
+		return nil
+	}
+	return topology.NewLayout(l2p, numPhysical)
+}

@@ -1,0 +1,101 @@
+// Package distrib defines the MIRAGE job kinds of the dispatch
+// subsystem: the coordinator- and worker-side protocol that fans
+// routing-trial grids and batch transpilations out over a
+// dispatch.Hub of TCP workers.
+//
+// Two job kinds exist, both built on the determinism contract of
+// internal/dispatch (index-ordered consumption, idempotent re-lease):
+//
+//   - KindTrials distributes the trial grid of one sabre
+//     FindBestRouting call. The job spec carries the consolidated
+//     circuit, the topology, the refined initial layouts (computed
+//     once by the coordinator with sabre.RefineLayouts) and a
+//     PolicySpec naming the metric/mirror-policy construction; each
+//     worker prepares a sabre.TrialRunner — shared immutable FlatDAG,
+//     one reusable arena — and leases trial-index ranges, returning
+//     (index, score) pairs. The coordinator's sabre.TrialSelector
+//     picks the winner exactly as the local scheduler would and
+//     replays that single trial locally, so the routed Result — and
+//     TrialsExecuted at any patience setting — is bit-identical to a
+//     single-process run at any worker count x lease size.
+//
+//   - KindBatch shards transpile.TranspileBatch at circuit
+//     granularity: workers lease circuit indices, run the full local
+//     pipeline per circuit with a job-local decomposition-cost cache,
+//     and return serialised Reports. Reports are consumed in
+//     circuit-index order; worker caches come home in job epilogues
+//     and are folded into the coordinator's cache with
+//     polytope.CostCache.Merge (entries deduplicated, hit/miss
+//     counters summed).
+//
+// Cluster bundles a Hub with the coordinator-side entry points;
+// Handlers supplies the worker side (cmd/miraged).
+package distrib
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/dispatch"
+)
+
+// Job kinds served by MIRAGE workers.
+const (
+	KindTrials = "mirage/trials"
+	KindBatch  = "mirage/batch"
+)
+
+// Cluster is a coordinator's view of a worker fleet: the connection
+// hub plus dispatch tuning. The zero LeaseSize values pick defaults
+// sized to each job kind's item cost.
+type Cluster struct {
+	Hub *dispatch.Hub
+	// TrialLease is the number of routing trials per lease (default 4:
+	// trials are milliseconds, so small leases keep the adaptive stop
+	// rule responsive without drowning in round-trips).
+	TrialLease int
+	// CircuitLease is the number of batch circuits per lease (default
+	// 1: circuits are seconds, one per lease balances best).
+	CircuitLease int
+}
+
+// NewCluster returns a Cluster with default lease sizes.
+func NewCluster(h *dispatch.Hub) *Cluster { return &Cluster{Hub: h} }
+
+func (cl *Cluster) trialLease() int {
+	if cl.TrialLease > 0 {
+		return cl.TrialLease
+	}
+	return 4
+}
+
+func (cl *Cluster) circuitLease() int {
+	if cl.CircuitLease > 0 {
+		return cl.CircuitLease
+	}
+	return 1
+}
+
+// Handlers returns the worker-side job table: pass to
+// dispatch.ServeConn / dispatch.ServeAddr. One table serves both job
+// kinds, so a single `miraged worker` process can alternate between
+// trial-grid and batch jobs as the coordinator submits them.
+func Handlers() map[string]dispatch.Handler {
+	return map[string]dispatch.Handler{
+		KindTrials: trialHandler,
+		KindBatch:  batchHandler,
+	}
+}
+
+// encodeSpec/decodeSpec gob-roundtrip job specs.
+func encodeSpec(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeSpec(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

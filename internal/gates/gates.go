@@ -43,6 +43,17 @@ func NewCustom(name string, qubits int, m *linalg.Matrix) Gate {
 	return Gate{Name: name, Qubits: qubits, matrix: m}
 }
 
+// NewCustomWithParams is NewCustom keeping the gate's parameter list —
+// the reconstruction entry point of the wire codec (internal/distrib),
+// which ships gates as (name, params, matrix) triples. The params
+// slice is retained, not copied; callers must treat it as immutable
+// like the matrix.
+func NewCustomWithParams(name string, qubits int, params []float64, m *linalg.Matrix) Gate {
+	g := NewCustom(name, qubits, m)
+	g.Params = params
+	return g
+}
+
 func mat2(a, b, c, d complex128) *linalg.Matrix {
 	return linalg.FromSlice(2, 2, []complex128{a, b, c, d})
 }

@@ -206,11 +206,94 @@ func (cc *CostCache) Len() int {
 	return n
 }
 
+// --- Merging (distributed shard reduction) ---
+
+// Merge folds other's entries and statistics into cc: the reduction
+// step of sharded batch transpilation, where every worker warms its
+// own cache and the coordinator combines them. Entries already in cc
+// win (they are at least as fresh); other's are inserted oldest-first
+// so recency is preserved and capacity eviction keeps the most recent
+// tail, exactly like Load. Hit/miss counters are summed, so the merged
+// cache reports the fleet-wide hit rate — the number a single shared
+// cache would have seen is not recoverable, and the summed counts are
+// the honest per-shard total. Returns the number of entries inserted.
+//
+// Both caches must have been filled from the same coverage set; a
+// basis mismatch (or a mixed cache on either side) is refused for the
+// same reason Save/Load refuse it. other must be quiescent for the
+// duration of the call; cc may be in concurrent use.
+func (cc *CostCache) Merge(other *CostCache) (int, error) {
+	if other == cc {
+		return 0, fmt.Errorf("polytope: cannot merge a cost cache into itself")
+	}
+	other.basisMu.Lock()
+	oBasis, oMixed := other.basis, other.basisMixed
+	other.basisMu.Unlock()
+	cc.basisMu.Lock()
+	switch {
+	case cc.basisMixed || oMixed:
+		cc.basisMu.Unlock()
+		return 0, fmt.Errorf("polytope: refusing to merge cost caches filled from multiple coverage sets")
+	case cc.basis != "" && oBasis != "" && cc.basis != oBasis:
+		cc.basisMu.Unlock()
+		return 0, fmt.Errorf("polytope: merging cost caches of different bases: %q vs %q", cc.basis, oBasis)
+	case cc.basis == "":
+		cc.basis = oBasis
+	}
+	cc.basisMu.Unlock()
+
+	n := 0
+	var hits, misses int64
+	for _, os := range other.shards {
+		os.mu.Lock()
+		hits += os.hits
+		misses += os.misses
+		for el := os.ll.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			if cc.insert(e.key, e.cost, e.k) {
+				n++
+			}
+		}
+		os.mu.Unlock()
+	}
+	// Fold the counters onto one shard; Stats sums across shards, so
+	// placement is arbitrary.
+	s := cc.shards[0]
+	s.mu.Lock()
+	s.hits += hits
+	s.misses += misses
+	s.mu.Unlock()
+	return n, nil
+}
+
+// insert adds a key if absent (existing entries win), applying the
+// shard's capacity eviction; reports whether the entry was added and
+// survived.
+func (cc *CostCache) insert(key cacheKey, cost float64, k int) bool {
+	s := cc.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[key]; ok {
+		return false
+	}
+	el := s.ll.PushFront(&cacheEntry{key: key, cost: cost, k: k})
+	s.items[key] = el
+	if s.ll.Len() > s.capacity {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.items, last.Value.(*cacheEntry).key)
+		return false
+	}
+	return true
+}
+
 // --- Persistence (ROADMAP: cost-cache persistence) ---
 
 // snapshotVersion guards the on-disk format; bump on any change to
-// savedEntry or the quantisation scale.
-const snapshotVersion = 1
+// savedEntry or the quantisation scale. Version 2 added the shard
+// hit/miss counters (version-1 snapshots still load, with zero
+// counters).
+const snapshotVersion = 2
 
 // savedEntry is one persisted cache line: the quantised coordinate key
 // and its decomposition cost. Exported fields for gob.
@@ -225,7 +308,11 @@ type snapshot struct {
 	Version int
 	Scale   float64 // quantisation scale the keys were produced with
 	Basis   string  // CoverageSet.Name the entries were computed under
-	Entries []savedEntry
+	// Hits/Misses are the cache's cumulative counters at Save time, so
+	// a shard snapshot carries its statistics home (version >= 2;
+	// LoadCache restores them, Load deliberately does not — see there).
+	Hits, Misses int64
+	Entries      []savedEntry
 }
 
 // Save serialises the cache contents (least-recently-used first, so a
@@ -241,7 +328,8 @@ func (cc *CostCache) Save(w io.Writer) error {
 	if mixed {
 		return fmt.Errorf("polytope: refusing to persist a cost cache filled from multiple coverage sets")
 	}
-	snap := snapshot{Version: snapshotVersion, Scale: quantiseScale, Basis: basis}
+	hits, misses := cc.Stats()
+	snap := snapshot{Version: snapshotVersion, Scale: quantiseScale, Basis: basis, Hits: hits, Misses: misses}
 	for _, s := range cc.shards {
 		s.mu.Lock()
 		for el := s.ll.Back(); el != nil; el = el.Prev() {
@@ -260,16 +348,16 @@ func (cc *CostCache) Save(w io.Writer) error {
 // the number of entries inserted. Existing entries win (they are
 // fresher than the snapshot); capacity eviction applies as usual, so
 // loading a snapshot larger than the cache keeps its most recent tail.
+//
+// The snapshot's hit/miss counters are NOT added to the cache's: a
+// warm start should report the current run's hit rate, not the
+// lifetime total of every run that ever touched the file. Shard
+// reduction — where summed counters are exactly what is wanted — goes
+// through LoadCache + Merge instead.
 func (cc *CostCache) Load(r io.Reader) (int, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return 0, fmt.Errorf("polytope: decoding cost-cache snapshot: %w", err)
-	}
-	if snap.Version != snapshotVersion {
-		return 0, fmt.Errorf("polytope: cost-cache snapshot version %d, want %d", snap.Version, snapshotVersion)
-	}
-	if snap.Scale != quantiseScale {
-		return 0, fmt.Errorf("polytope: cost-cache snapshot quantised at scale %g, want %g", snap.Scale, quantiseScale)
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return 0, err
 	}
 	cc.basisMu.Lock()
 	switch {
@@ -285,25 +373,48 @@ func (cc *CostCache) Load(r io.Reader) (int, error) {
 	cc.basisMu.Unlock()
 	n := 0
 	for _, e := range snap.Entries {
-		key := cacheKey{x: e.X, y: e.Y, z: e.Z, mirror: e.Mirror}
-		s := cc.shardFor(key)
-		s.mu.Lock()
-		if _, ok := s.items[key]; ok {
-			s.mu.Unlock()
-			continue
-		}
-		el := s.ll.PushFront(&cacheEntry{key: key, cost: e.Cost, k: e.K})
-		s.items[key] = el
-		if s.ll.Len() > s.capacity {
-			last := s.ll.Back()
-			s.ll.Remove(last)
-			delete(s.items, last.Value.(*cacheEntry).key)
-		} else {
+		if cc.insert(cacheKey{x: e.X, y: e.Y, z: e.Z, mirror: e.Mirror}, e.Cost, e.K) {
 			n++
 		}
-		s.mu.Unlock()
 	}
 	return n, nil
+}
+
+// decodeSnapshot reads and validates a Save-produced snapshot.
+func decodeSnapshot(r io.Reader) (*snapshot, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("polytope: decoding cost-cache snapshot: %w", err)
+	}
+	if snap.Version < 1 || snap.Version > snapshotVersion {
+		return nil, fmt.Errorf("polytope: cost-cache snapshot version %d, want <= %d", snap.Version, snapshotVersion)
+	}
+	if snap.Scale != quantiseScale {
+		return nil, fmt.Errorf("polytope: cost-cache snapshot quantised at scale %g, want %g", snap.Scale, quantiseScale)
+	}
+	return &snap, nil
+}
+
+// LoadCache reconstructs a cache from a snapshot, statistics included:
+// the receiving end of a distributed shard epilogue, meant to be
+// folded into the coordinator's cache with Merge so per-shard hit/miss
+// counts survive the network hop (plain Load drops them by design).
+// capacity <= 0 selects the default size.
+func LoadCache(r io.Reader, capacity int) (*CostCache, error) {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	cc := NewCostCache(capacity)
+	cc.basis = snap.Basis
+	for _, e := range snap.Entries {
+		cc.insert(cacheKey{x: e.X, y: e.Y, z: e.Z, mirror: e.Mirror}, e.Cost, e.K)
+	}
+	s := cc.shards[0]
+	s.mu.Lock()
+	s.hits, s.misses = snap.Hits, snap.Misses
+	s.mu.Unlock()
+	return cc, nil
 }
 
 // SaveFile writes the cache snapshot to path atomically (temp file +

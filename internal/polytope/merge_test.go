@@ -1,0 +1,190 @@
+package polytope
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/weyl"
+)
+
+// cacheContents dumps every (key, cost, k) of a cache.
+func cacheContents(cc *CostCache) map[cacheKey][2]float64 {
+	out := map[cacheKey][2]float64{}
+	for _, s := range cc.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			out[e.key] = [2]float64{e.cost, float64(e.k)}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// TestCostCacheMergeEqualsCombinedRun is the shard-reduction property:
+// running a workload split across two caches and merging them must
+// yield the same entries as one cache that saw the whole workload, and
+// the merged hit/miss counters must be the exact sums of the shards'.
+func TestCostCacheMergeEqualsCombinedRun(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	rng := rand.New(rand.NewSource(31))
+	coords := make([]weyl.Coordinate, 150)
+	for i := range coords {
+		coords[i] = weyl.HaarSample(rng)
+	}
+	// Overlapping halves so the shards share keys (the dedup case) and
+	// repeated queries so hits accumulate.
+	query := func(cc *CostCache, lo, hi int) {
+		for pass := 0; pass < 2; pass++ {
+			for i := lo; i < hi; i++ {
+				cc.CostOf(cs, coords[i], i%3 == 0)
+			}
+		}
+	}
+
+	a, b, combined := NewCostCache(0), NewCostCache(0), NewCostCache(0)
+	query(a, 0, 90)
+	query(b, 60, 150)
+	query(combined, 0, 90)
+	query(combined, 60, 150)
+
+	aH, aM := a.Stats()
+	bH, bM := b.Stats()
+	wantAdded := combined.Len() - a.Len()
+	added, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != wantAdded {
+		t.Fatalf("Merge inserted %d entries, want %d", added, wantAdded)
+	}
+
+	mc, cc := cacheContents(a), cacheContents(combined)
+	if len(mc) != len(cc) {
+		t.Fatalf("merged cache has %d entries, combined run has %d", len(mc), len(cc))
+	}
+	for k, v := range cc {
+		if mv, ok := mc[k]; !ok || mv != v {
+			t.Fatalf("key %v: merged %v, combined %v", k, mv, v)
+		}
+	}
+
+	mH, mM := a.Stats()
+	if mH != aH+bH || mM != aM+bM {
+		t.Fatalf("merged stats (%d, %d), want summed (%d, %d)", mH, mM, aH+bH, aM+bM)
+	}
+	if hr := a.HitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("merged hit rate %g out of range", hr)
+	}
+}
+
+// TestCostCacheMergeExistingEntriesWin: on key overlap the receiving
+// cache keeps its entry (both sides computed the same cost, but the
+// receiver's is the canonical survivor).
+func TestCostCacheMergeExistingEntriesWin(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	c := weyl.Coordinate{X: 0.4, Y: 0.2, Z: 0.05}
+	a, b := NewCostCache(0), NewCostCache(0)
+	wantCost, wantK := a.CostOf(cs, c, false)
+	b.CostOf(cs, c, false)
+	if n, err := a.Merge(b); err != nil || n != 0 {
+		t.Fatalf("Merge = (%d, %v), want (0, nil)", n, err)
+	}
+	gotCost, gotK := a.CostOf(cs, c, false)
+	if gotCost != wantCost || gotK != wantK {
+		t.Fatalf("merge clobbered existing entry: (%g, %d) != (%g, %d)", gotCost, gotK, wantCost, wantK)
+	}
+}
+
+// TestCostCacheMergeBasisGuard: merging caches warmed from different
+// coverage sets (or a mixed cache) must be refused — quantised keys
+// carry no basis identity.
+func TestCostCacheMergeBasisGuard(t *testing.T) {
+	iswap, cnot := NewISwapRootCoverage(2), NewCNOTCoverage()
+	rng := rand.New(rand.NewSource(32))
+
+	a, b := NewCostCache(0), NewCostCache(0)
+	a.CostOf(iswap, weyl.HaarSample(rng), false)
+	b.CostOf(cnot, weyl.HaarSample(rng), false)
+	if _, err := a.Merge(b); err == nil {
+		t.Fatal("merged caches of different bases")
+	}
+
+	mixed := NewCostCache(0)
+	mixed.CostOf(iswap, weyl.HaarSample(rng), false)
+	mixed.CostOf(cnot, weyl.HaarSample(rng), false)
+	if _, err := a.Merge(mixed); err == nil {
+		t.Fatal("merged a mixed cache")
+	}
+	if _, err := a.Merge(a); err == nil {
+		t.Fatal("merged a cache into itself")
+	}
+
+	// An empty cache merges into anything; a warmed cache merges into
+	// an empty one, which adopts the basis.
+	empty := NewCostCache(0)
+	if _, err := a.Merge(empty); err != nil {
+		t.Fatalf("merging an empty cache failed: %v", err)
+	}
+	fresh := NewCostCache(0)
+	if _, err := fresh.Merge(a); err != nil {
+		t.Fatalf("merging into an empty cache failed: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.Save(&buf); err != nil {
+		t.Fatalf("basis not adopted on merge: %v", err)
+	}
+}
+
+// TestCostCacheSnapshotCarriesStats: Save -> LoadCache must round-trip
+// entries AND counters (the epilogue path of distributed batches),
+// while plain Load keeps the receiver's counters untouched.
+func TestCostCacheSnapshotCarriesStats(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	rng := rand.New(rand.NewSource(33))
+	warm := NewCostCache(0)
+	for pass := 0; pass < 2; pass++ {
+		rng.Seed(33)
+		for i := 0; i < 50; i++ {
+			warm.CostOf(cs, weyl.HaarSample(rng), false)
+		}
+	}
+	wantH, wantM := warm.Stats()
+	if wantH == 0 || wantM == 0 {
+		t.Fatalf("fixture degenerate: stats (%d, %d)", wantH, wantM)
+	}
+
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	shard, err := LoadCache(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := shard.Stats(); h != wantH || m != wantM {
+		t.Fatalf("LoadCache stats (%d, %d), want (%d, %d)", h, m, wantH, wantM)
+	}
+	if shard.Len() != warm.Len() {
+		t.Fatalf("LoadCache entries %d, want %d", shard.Len(), warm.Len())
+	}
+
+	// Plain Load: entries only.
+	cold := NewCostCache(0)
+	if _, err := cold.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := cold.Stats(); h != 0 || m != 0 {
+		t.Fatalf("Load imported counters (%d, %d); warm-start hit rate must start at zero", h, m)
+	}
+
+	// Coordinator reduction: fold two shard snapshots into one cache.
+	coord := NewCostCache(0)
+	if _, err := coord.Merge(shard); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := coord.Stats(); h != wantH || m != wantM {
+		t.Fatalf("reduced stats (%d, %d), want (%d, %d)", h, m, wantH, wantM)
+	}
+}

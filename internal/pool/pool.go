@@ -46,6 +46,11 @@ func ForEach(parallelism, n int, fn func(i int) error) error {
 // sync.Pool churn or cross-goroutine handoff: scratch values are owned
 // by exactly one goroutine for the whole run. On the serial path
 // scratch(0) is called once.
+//
+// A panic inside fn sheds remaining work like an error at that index
+// and is re-raised on the caller's goroutine after every worker has
+// parked; when several indices fail, the lowest one's panic or error
+// wins, matching serial iteration.
 func ForEachWith[S any](parallelism, n int, scratch func(w int) S, fn func(i int, s S) error) error {
 	if n <= 0 {
 		return nil
@@ -65,6 +70,7 @@ func ForEachWith[S any](parallelism, n int, scratch func(w int) S, fn func(i int
 	}
 
 	errs := make([]error, n)
+	pans := make([]any, n)
 	var failed atomic.Int64 // lowest failing index seen so far
 	failed.Store(int64(n))
 	next := make(chan int)
@@ -78,13 +84,15 @@ func ForEachWith[S any](parallelism, n int, scratch func(w int) S, fn func(i int
 				if int64(i) > failed.Load() {
 					continue
 				}
-				if err := fn(i, s); err != nil {
-					errs[i] = err
-					for {
-						cur := failed.Load()
-						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
-							break
-						}
+				err, pan := callSafe(func() error { return fn(i, s) })
+				if err == nil && pan == nil {
+					continue
+				}
+				errs[i], pans[i] = err, pan
+				for {
+					cur := failed.Load()
+					if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+						break
 					}
 				}
 			}
@@ -98,10 +106,26 @@ func ForEachWith[S any](parallelism, n int, scratch func(w int) S, fn func(i int
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
+		if pans[i] != nil {
+			panic(pans[i])
+		}
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// callSafe runs f, converting a panic into a captured value so worker
+// goroutines never crash the process: the lowest failing index's panic
+// is re-raised on the caller's goroutine — the same stack a serial
+// loop would have unwound — after every worker has parked.
+func callSafe(f func() error) (err error, pan any) {
+	defer func() {
+		if r := recover(); r != nil {
+			pan = r
+		}
+	}()
+	return f(), nil
 }

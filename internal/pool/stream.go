@@ -45,6 +45,13 @@ func Stream[T any](parallelism, max int, run func(i int) (T, error), consume fun
 // index order, so the worker may already be mutating its scratch for a
 // later trial by the time an earlier result is consumed). On the
 // serial path scratch(0) is called once.
+//
+// A panic inside run stops the stream like an error at that index and
+// is re-raised on the caller's goroutine once every started run call
+// has completed — a crashing trial fails the StreamWith call instead
+// of killing the process from a worker goroutine. This holds even for
+// runs already in flight past an early stop: unlike their discarded
+// results, their panics still propagate.
 func StreamWith[S, T any](parallelism, max int, scratch func(w int) S, run func(i int, s S) (T, error), consume func(i int, v T) (stop bool)) error {
 	if max <= 0 {
 		return nil
@@ -71,12 +78,22 @@ func StreamWith[S, T any](parallelism, max int, scratch func(w int) S, run func(
 		i   int
 		v   T
 		err error
+		pan any // captured worker panic, re-raised on the caller's goroutine
 	}
 	next := make(chan int)
 	// Each worker holds at most one unsent result, so a buffer of
 	// `parallelism` guarantees workers never block on a stream that
 	// has stopped receiving.
 	results := make(chan item, parallelism)
+	runSafe := func(i int, s S) (it item) {
+		defer func() {
+			if r := recover(); r != nil {
+				it = item{i: i, pan: r}
+			}
+		}()
+		v, err := run(i, s)
+		return item{i: i, v: v, err: err}
+	}
 	var wg sync.WaitGroup
 	wg.Add(parallelism)
 	for w := 0; w < parallelism; w++ {
@@ -84,8 +101,7 @@ func StreamWith[S, T any](parallelism, max int, scratch func(w int) S, run func(
 			defer wg.Done()
 			s := scratch(w)
 			for i := range next {
-				v, err := run(i, s)
-				results <- item{i: i, v: v, err: err}
+				results <- runSafe(i, s)
 			}
 		}(w)
 	}
@@ -94,13 +110,24 @@ func StreamWith[S, T any](parallelism, max int, scratch func(w int) S, run func(
 		dispatched, consumed int
 		stopped              bool
 		firstErr             error
+		firstPan             any
 		pending              = make(map[int]item, parallelism)
 	)
 	for {
 		// Drain everything consumable in index order first.
 		if it, ok := pending[consumed]; ok {
 			delete(pending, consumed)
-			if !stopped {
+			// A panic is captured even when the stream already stopped
+			// (an in-flight run past the stop index): it signals state
+			// corruption and must never be swallowed. The lowest
+			// drained index's panic wins — the drain is index-ordered,
+			// so this stays deterministic.
+			if it.pan != nil {
+				if firstPan == nil {
+					firstPan = it.pan
+				}
+				stopped = true
+			} else if !stopped {
 				if it.err != nil {
 					firstErr = it.err
 					stopped = true
@@ -130,5 +157,10 @@ func StreamWith[S, T any](parallelism, max int, scratch func(w int) S, run func(
 	}
 	close(next)
 	wg.Wait()
+	if firstPan != nil {
+		// The panic of the lowest consumed failing index, raised only
+		// after every in-flight run has finished and parked its scratch.
+		panic(firstPan)
+	}
 	return firstErr
 }

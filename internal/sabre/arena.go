@@ -290,3 +290,23 @@ func (r *TrialRunner) Run(initial *topology.Layout, opts Options, seed int64, po
 	r.arena.rng.Seed(seed)
 	return r.arena.route(r.fd, r.topo, initial, opts, r.arena.rng, policy)
 }
+
+// GridTrial executes trial t of the FindBestRouting grid: routing from
+// layouts[t / opts.RoutingTrials] with the generator seeded from
+// (opts.Seed, t) — the single definition of a grid trial's identity,
+// shared by the local scheduler, the winner replay, and the remote
+// workers of the distributed transport. Given equal (layouts, opts, t,
+// policy) the trial is bit-identical wherever it runs, which is what
+// makes work-queue leases idempotent. The returned Result aliases the
+// runner's arena like Run's does.
+func (r *TrialRunner) GridTrial(layouts []*topology.Layout, opts LayoutOptions, t int, policy MirrorPolicy) (*Result, error) {
+	opts = opts.WithDefaults()
+	if t < 0 || t >= opts.LayoutTrials*opts.RoutingTrials {
+		return nil, fmt.Errorf("sabre: grid trial %d outside the %dx%d grid", t, opts.LayoutTrials, opts.RoutingTrials)
+	}
+	lt := t / opts.RoutingTrials
+	if lt >= len(layouts) {
+		return nil, fmt.Errorf("sabre: grid trial %d needs layout %d, have %d layouts", t, lt, len(layouts))
+	}
+	return r.Run(layouts[lt], opts.Routing, trialSeed(opts.Seed, seedStreamRouting, t), policy)
+}

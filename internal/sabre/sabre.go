@@ -17,10 +17,11 @@
 // immutable circuit.FlatDAG shared read-only by every worker, and all
 // mutable trial state — traversal, layout, decay, pair caches,
 // candidate dedup stamps, the routed-op buffer — lives in a per-worker
-// trialArena checked out through pool.StreamWith and reused across the
-// whole trial schedule. TrialRunner exposes the same arena reuse to
-// external callers (and is the seam a distributed trial queue would
-// dispatch over).
+// trialArena reused across the whole trial schedule. The schedule
+// itself runs on the dispatch work queue (dispatch.Queue consumed by
+// TrialSelector, driven locally by dispatch.RunLocal): one scheduler
+// code path shared with the distributed transport, whose workers run
+// the same trials through TrialRunner (internal/distrib).
 //
 // The router exposes a MirrorPolicy hook: every two-qubit gate that
 // becomes executable is offered to the policy, which may replace it
@@ -33,6 +34,7 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
+	"repro/internal/dispatch"
 	"repro/internal/pool"
 	"repro/internal/topology"
 )
@@ -244,13 +246,94 @@ func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOpt
 	fd := circuit.BuildFlatDAG(c)
 	rev := c.Reversed()
 	fdRev := circuit.BuildFlatDAG(rev)
-	workers := pool.Size(opts.Parallelism)
 
-	// Wave 1: refine one initial layout per layout trial.
-	// Forward/backward refinement: route forward, then route the
-	// reversed circuit from the final layout; its final layout becomes
-	// the new initial layout. Each worker reuses one arena for all its
-	// trials' 2*FwdBwdPasses routing calls.
+	layouts, err := refineLayouts(fd, fdRev, c, topo, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Wave 2: the routing grid on the dispatch work queue. Trial t =
+	// lt*RoutingTrials + rt routes from layouts[lt]; scoring happens
+	// inside the worker so that expensive metrics (polytope-weighted
+	// depth) parallelise too. The queue consumes (index, score) pairs
+	// in strict trial-index order, so the TrialSelector — the online
+	// argmin plus convergence stop rule — sees exactly the sequence a
+	// serial loop would: the winner and, in adaptive mode, the number
+	// of trials consumed are independent of goroutine scheduling. Only
+	// scores cross the worker boundary; routed circuits stay in the
+	// arenas. The distributed coordinator (internal/distrib) drives
+	// the same queue/selector pair over TCP workers, so there is one
+	// scheduler code path at any scale.
+	n := opts.LayoutTrials * opts.RoutingTrials
+	sel := NewTrialSelector(opts.ConvergencePatience)
+	q := dispatch.NewQueue(n, 1, sel.Consume)
+	err = dispatch.RunLocal(q, opts.Parallelism,
+		func(int) *TrialRunner { return newTrialRunnerForDAG(fd, topo) },
+		func(t int, r *TrialRunner) (float64, error) {
+			var policy MirrorPolicy
+			if factory != nil {
+				policy = factory(t)
+			}
+			res, err := r.GridTrial(layouts, opts, t, policy)
+			if err != nil {
+				return 0, err
+			}
+			return metric(res), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialise the winner: replay the best trial on a transient
+	// runner whose arena buffers the Result can own. Trials are
+	// deterministic in (Seed, index), so this reproduces the scored
+	// run bit for bit at the cost of one extra route — noise against
+	// the trial grid.
+	bestT, _ := sel.Best()
+	var policy MirrorPolicy
+	if factory != nil {
+		policy = factory(bestT)
+	}
+	best, err := newTrialRunnerForDAG(fd, topo).GridTrial(layouts, opts, bestT, policy)
+	if err != nil {
+		return nil, err
+	}
+	best.TrialsExecuted = sel.Executed()
+	best.TrialsBudgeted = n
+	return best, nil
+}
+
+// RefineLayouts runs the layout wave of the SABRE flow on its own: one
+// random initial layout per layout trial, refined by FwdBwdPasses
+// forward/backward routing rounds. FindBestRouting performs exactly
+// this before its trial grid; the distributed coordinator
+// (internal/distrib) calls it separately so the refined layouts can be
+// shipped in the job spec and every remote worker skips refinement.
+// Layout lt is deterministic in (opts.Seed, lt) and independent of
+// Parallelism.
+func RefineLayouts(c *circuit.Circuit, topo *topology.Topology, opts LayoutOptions) ([]*topology.Layout, error) {
+	opts = opts.WithDefaults()
+	if err := validateRoutable(c, topo); err != nil {
+		return nil, err
+	}
+	if !topo.IsConnected() && c.Count2Q() > 0 {
+		return nil, fmt.Errorf("sabre: topology %s is disconnected", topo.Name)
+	}
+	fd := circuit.BuildFlatDAG(c)
+	rev := c.Reversed()
+	fdRev := circuit.BuildFlatDAG(rev)
+	return refineLayouts(fd, fdRev, c, topo, opts)
+}
+
+// refineLayouts is wave 1 over prebuilt forward/reverse DAGs: route
+// forward, then route the reversed circuit from the final layout; its
+// final layout becomes the new initial layout. Each worker reuses one
+// arena for all its trials' 2*FwdBwdPasses routing calls. opts must
+// already have defaults applied.
+func refineLayouts(fd, fdRev *circuit.FlatDAG, c *circuit.Circuit, topo *topology.Topology,
+	opts LayoutOptions) ([]*topology.Layout, error) {
+
+	workers := pool.Size(opts.Parallelism)
 	layouts := make([]*topology.Layout, opts.LayoutTrials)
 	err := pool.ForEachWith(workers, opts.LayoutTrials,
 		func(int) *trialArena { return newTrialArena() },
@@ -276,70 +359,5 @@ func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOpt
 	if err != nil {
 		return nil, err
 	}
-
-	// Wave 2: the routing grid as a stream. Trial t = lt*RoutingTrials
-	// + rt routes from layouts[lt]; scoring happens inside the worker
-	// so that expensive metrics (polytope-weighted depth) parallelise
-	// too. pool.StreamWith consumes (index, score) pairs in strict
-	// trial-index order, so the online argmin and the convergence stop
-	// rule see exactly the sequence a serial loop would: the winner —
-	// and, in adaptive mode, the number of trials consumed — is
-	// independent of goroutine scheduling. Only scores cross the
-	// worker boundary; routed circuits stay in the arenas.
-	type trialOut struct {
-		score float64
-	}
-	n := opts.LayoutTrials * opts.RoutingTrials
-	var (
-		bestT     = -1
-		bestScore float64
-		executed  int
-		noImprove int
-	)
-	err = pool.StreamWith(workers, n,
-		func(int) *trialArena { return newTrialArena() },
-		func(t int, a *trialArena) (trialOut, error) {
-			lt := t / opts.RoutingTrials
-			var policy MirrorPolicy
-			if factory != nil {
-				policy = factory(t)
-			}
-			a.rng.Seed(trialSeed(opts.Seed, seedStreamRouting, t))
-			res, err := a.route(fd, topo, layouts[lt], opts.Routing, a.rng, policy)
-			if err != nil {
-				return trialOut{}, err
-			}
-			return trialOut{score: metric(res)}, nil
-		},
-		func(t int, v trialOut) bool {
-			executed++
-			if bestT < 0 || v.score < bestScore {
-				bestScore, bestT = v.score, t
-				noImprove = 0
-				return false
-			}
-			noImprove++
-			return opts.ConvergencePatience > 0 && noImprove >= opts.ConvergencePatience
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	// Materialise the winner: replay trial bestT on a transient arena
-	// whose buffers the Result can own. Trials are deterministic in
-	// (Seed, index), so this reproduces the scored run bit for bit at
-	// the cost of one extra route — noise against the trial grid.
-	var policy MirrorPolicy
-	if factory != nil {
-		policy = factory(bestT)
-	}
-	wa := newTrialArena()
-	wa.rng.Seed(trialSeed(opts.Seed, seedStreamRouting, bestT))
-	best, err := wa.route(fd, topo, layouts[bestT/opts.RoutingTrials], opts.Routing, wa.rng, policy)
-	if err != nil {
-		return nil, err
-	}
-	best.TrialsExecuted = executed
-	best.TrialsBudgeted = n
-	return best, nil
+	return layouts, nil
 }

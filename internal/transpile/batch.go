@@ -2,6 +2,7 @@ package transpile
 
 import (
 	"repro/internal/circuit"
+	"repro/internal/dispatch"
 	"repro/internal/polytope"
 	"repro/internal/pool"
 	"repro/internal/topology"
@@ -45,20 +46,31 @@ func TranspileBatch(circuits []*circuit.Circuit, topo *topology.Topology, opts O
 	// 8 workers over 3 circuits run their trials at 3/3/2, not 2/2/2).
 	inner, rem := workers/outer, workers%outer
 
+	// The batch runs on the dispatch work queue — the same scheduler
+	// subsystem the routing-trial grid and the distributed transport
+	// use — with circuit-granularity leases. Reports are consumed in
+	// circuit-index order, so the first failure in input order is the
+	// one reported, exactly like the serial loop (and exactly like the
+	// sharded TCP path in internal/distrib, whose workers run this very
+	// function's per-circuit body).
 	reports := make([]*Report, len(circuits))
-	err := pool.ForEach(outer, len(circuits), func(i int) error {
-		o := opts
-		o.Parallelism = inner
-		if i%outer < rem {
-			o.Parallelism++
-		}
-		rep, err := Transpile(circuits[i], topo, o)
-		if err != nil {
-			return err
-		}
+	q := dispatch.NewQueue(len(circuits), 1, func(i int, rep *Report) bool {
 		reports[i] = rep
-		return nil
+		return false
 	})
+	err := dispatch.RunLocal(q, outer,
+		func(w int) int { // scratch: this worker's trial-parallelism share
+			share := inner
+			if w < rem {
+				share++
+			}
+			return share
+		},
+		func(i int, share int) (*Report, error) {
+			o := opts
+			o.Parallelism = share
+			return Transpile(circuits[i], topo, o)
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -80,6 +80,16 @@ type Options struct {
 	// TranspileBatch to keep one warmed cache across circuits); nil
 	// gives each transpilation its own cache.
 	Cache *polytope.CostCache
+	// RouteFn overrides the routing engine for step 4 of the pipeline;
+	// nil uses sabre.FindBestRouting in-process. This is the seam the
+	// distributed dispatcher (internal/distrib) plugs into: its RouteFn
+	// fans the trial grid out to remote workers and — because the trial
+	// queue consumes scores in trial-index order and the winner is
+	// replayed locally — returns a Result bit-identical to the local
+	// engine's. Implementations receive the post-override LayoutOptions
+	// and the exact metric/factory a local run would use.
+	RouteFn func(c *circuit.Circuit, topo *topology.Topology, opts sabre.LayoutOptions,
+		metric sabre.Metric, factory sabre.PolicyFactory) (*sabre.Result, error)
 }
 
 // Report is the transpilation outcome with the paper's metrics.
@@ -176,7 +186,11 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 			factory = mirage.PolicyFactoryWithCache(opts.Basis, mirage.DefaultMix, opts.Cache)
 		}
 	}
-	res, err := sabre.FindBestRouting(blocks, topo, opts.Layout, metric, factory)
+	route := sabre.FindBestRouting
+	if opts.RouteFn != nil {
+		route = opts.RouteFn
+	}
+	res, err := route(blocks, topo, opts.Layout, metric, factory)
 	if err != nil {
 		return nil, fmt.Errorf("transpile: %w", err)
 	}

@@ -24,9 +24,12 @@ package mirage
 
 import (
 	"math/rand"
+	"net"
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
+	"repro/internal/dispatch"
+	"repro/internal/distrib"
 	"repro/internal/gates"
 	"repro/internal/haar"
 	"repro/internal/linalg"
@@ -188,12 +191,57 @@ func TranspileBatch(circuits []*Circuit, topo *Topology, opts Options) ([]*Repor
 // to decomposition costs (paper Section VI-C); pass one via
 // Options.Cache to keep it warm across Transpile/TranspileBatch calls.
 // Save/Load (and the SaveFile/LoadFile helpers) persist the table so
-// repeated benchmark runs start warm.
+// repeated benchmark runs start warm, and Merge folds another cache in
+// — entries deduplicated, hit/miss counters summed — which is how
+// distributed batch shards reduce their per-worker caches.
 type CostCache = polytope.CostCache
 
 // NewCostCache returns a cost cache holding up to capacity entries
 // (<= 0 selects the default size).
 func NewCostCache(capacity int) *CostCache { return polytope.NewCostCache(capacity) }
+
+// --- Distributed trial dispatch ---
+
+// DispatchHub is a coordinator's pool of worker connections: workers
+// dial in once (ServeWorker / `miraged worker`) and serve any number
+// of sequential jobs. Lost workers have their leased work re-granted;
+// work items are deterministic in their index, so outcomes are
+// bit-identical to single-process runs regardless of worker count or
+// failures.
+type DispatchHub = dispatch.Hub
+
+// NewDispatchHub returns an empty hub; call its Listen method to
+// accept workers over TCP.
+func NewDispatchHub() *DispatchHub { return dispatch.NewHub() }
+
+// Cluster is the coordinator-side API over a hub: distributed
+// counterparts of FindBestRouting and TranspileBatch, plus Options to
+// wire remote trial dispatch into a transpile pipeline.
+type Cluster = distrib.Cluster
+
+// NewCluster wraps a hub with default dispatch tuning.
+func NewCluster(h *DispatchHub) *Cluster { return distrib.NewCluster(h) }
+
+// ServeWorker runs the worker side of the dispatch protocol on an
+// established connection until the coordinator closes it, handling
+// both the routing-trial and batch-transpile job kinds.
+func ServeWorker(conn net.Conn) error {
+	return dispatch.ServeConn(conn, distrib.Handlers(), nil)
+}
+
+// ServeWorkerAddr dials a coordinator and serves jobs until the
+// connection closes — the library form of `miraged worker -connect`.
+func ServeWorkerAddr(addr string) error {
+	return dispatch.ServeAddr(addr, distrib.Handlers(), nil)
+}
+
+// TranspileBatchOver shards a batch across the cluster at circuit
+// granularity: every report is bit-identical to the local
+// TranspileBatch's, and worker cost caches are merged into opts.Cache
+// when set.
+func TranspileBatchOver(cl *Cluster, circuits []*Circuit, topo *Topology, opts Options) ([]*Report, error) {
+	return cl.TranspileBatch(circuits, topo, opts)
+}
 
 // --- Weyl chamber analysis ---
 
