@@ -103,9 +103,35 @@ func TestFacadeHaarScoreSmoke(t *testing.T) {
 }
 
 func TestFacadeBenchmarkSuite(t *testing.T) {
+	// 15 Table III rows plus the self-verifying Mirror family.
 	suite := BenchmarkSuite()
-	if len(suite) != 15 {
-		t.Fatalf("suite has %d circuits, want 15 (Table III)", len(suite))
+	mirrors := 0
+	for _, e := range suite {
+		if e.Mirror != nil {
+			mirrors++
+		}
+	}
+	if paper := len(suite) - mirrors; paper != 15 {
+		t.Fatalf("suite has %d paper circuits, want 15 (Table III)", paper)
+	}
+	if mirrors == 0 || mirrors != len(MirrorBenchmarkSuite()) {
+		t.Fatalf("suite has %d mirror rows, want %d", mirrors, len(MirrorBenchmarkSuite()))
+	}
+}
+
+func TestFacadeMirrorRoundTrip(t *testing.T) {
+	spec := MirrorSpec{Kind: MirrorRandomizedClifford, Qubits: 4, Layers: 3, Seed: 11}
+	m := GenerateMirror(spec)
+	rep, err := Transpile(m.Circuit, Grid(2, 3), Options{
+		Router: MIRAGE, DepthSelection: true,
+		Layout: LayoutOptions{LayoutTrials: 2, RoutingTrials: 2, FwdBwdPasses: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := VerifyMirror(rep.Routed, rep.FinalLayout, m.Expected, 1e-9)
+	if err != nil {
+		t.Fatalf("transpiled mirror rejected: %v (fidelity %v)", err, fid)
 	}
 }
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/distrib"
 	"repro/internal/mirage"
+	"repro/internal/mirrorbench"
 	"repro/internal/polytope"
 	"repro/internal/pool"
 	"repro/internal/sabre"
@@ -34,6 +36,10 @@ type runConfig struct {
 	cache        *polytope.CostCache
 	cacheLoaded  int  // entries merged from -cache-file at startup
 	kernels      bool // run the numeric-kernel -benchmem lane
+	// mirrorVerify enables the semantic survival check on mirror-family
+	// suite rows inside runFig12 (runMirror always verifies).
+	mirrorVerify bool
+	mirrorTol    float64
 	// cluster, when non-nil, fans every routing-trial grid out to
 	// remote miraged workers (-listen/-workers). Results are
 	// bit-identical to local runs; only wall times and cache traffic
@@ -65,8 +71,8 @@ func (rc *runConfig) options(router transpile.Router, depth bool, fixed *mirage.
 
 func main() {
 	var (
-		fig       = flag.String("fig", "12", "experiment: 10 | 11 | 12 | table3")
-		topoName  = flag.String("topology", "square", "topology for fig 11/12: square | heavyhex")
+		fig       = flag.String("fig", "12", "experiment: 10 | 11 | 12 | table3 | mirror")
+		topoName  = flag.String("topology", "square", "topology for fig 11/12/mirror: square | heavyhex | grid34 | line12")
 		quick     = flag.Bool("quick", false, "reduced trial counts and circuit subset")
 		trials    = flag.Int("trials", 0, "layout/routing trials (0 = paper defaults 20/20, quick = 4/4)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -79,6 +85,8 @@ func main() {
 		kernels   = flag.Bool("kernels", false, "run the numeric-kernel -benchmem lane and record it in the results file")
 		patSweep  = flag.String("patience-sweep", "", "comma-separated ConvergencePatience values to sweep on the suite (e.g. \"0,2,5,8,12\"); runs the sweep instead of -fig")
 		patJSON   = flag.String("patience-json", "BENCH_patience.json", "machine-readable patience-sweep results file (empty = disabled)")
+		mirVerify = flag.Bool("mirror-verify", false, "fig 12: run the survival-bitstring semantic check on mirror-family rows and record pass/fail + fidelity in -json")
+		mirTol    = flag.Float64("mirror-tol", 1e-9, "survival-fidelity infidelity tolerance for mirror verification")
 		listen    = flag.String("listen", "", "coordinator address for distributed trials (e.g. 127.0.0.1:7117); workers join with `miraged worker -connect`")
 		workers   = flag.Int("workers", 0, "remote workers to wait for before starting (requires -listen)")
 		lease     = flag.Int("lease", 0, "routing trials per work-queue lease in distributed mode (0 = default)")
@@ -132,6 +140,8 @@ func main() {
 		}
 	}
 	rc.kernels = *kernels
+	rc.mirrorVerify = *mirVerify
+	rc.mirrorTol = *mirTol
 
 	if *listen != "" {
 		hub := dispatch.NewHub()
@@ -166,6 +176,8 @@ func main() {
 		runFig11(rc, pickTopo(*topoName), *quick)
 	case "12":
 		runFig12(rc, pickTopo(*topoName), *quick, *jsonPath)
+	case "mirror":
+		runMirror(rc, pickTopo(*topoName), *quick, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		os.Exit(1)
@@ -269,10 +281,17 @@ func pickTopo(name string) *topology.Topology {
 		return topology.SquareLattice66()
 	case "heavyhex":
 		return topology.HeavyHex57()
+	// The small devices below exist for the mirror semantic gate: the
+	// routed footprint must stay within circuit.MaxUnitaryQubits for
+	// dense-unitary verification, so CI gates on compact topologies.
+	case "grid34":
+		return topology.Grid(3, 4)
+	case "line12":
+		return topology.Line(12)
 	}
 	// Same rationale as SchedulerFlags.Validate: a typo must not
 	// silently benchmark the wrong machine.
-	fmt.Fprintf(os.Stderr, "benchsuite: unknown -topology %q (want square or heavyhex)\n", name)
+	fmt.Fprintf(os.Stderr, "benchsuite: unknown -topology %q (want square, heavyhex, grid34 or line12)\n", name)
 	os.Exit(2)
 	return nil
 }
@@ -361,22 +380,46 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 	)
 	start := time.Now()
 	var rows []bench.RoutingRow
-	addRow := func(name string, rep *transpile.Report) {
-		rows = append(rows, bench.RoutingRow{
+	verifyFailures := 0
+	addRow := func(e bench.Entry, rep *transpile.Report) {
+		row := bench.RoutingRow{
 			Seq:     len(rows),
-			Circuit: name, Router: rep.Router,
+			Circuit: e.Name, Router: rep.Router,
 			WallMS:      float64(rep.Runtime.Microseconds()) / 1000,
 			DepthPulses: rep.DepthPulses, TotalGates: rep.TotalBasisGates,
 			Swaps: rep.SwapsInserted, Mirrors: rep.MirrorsUsed,
 			TrialsExecuted: rep.TrialsExecuted, TrialsBudgeted: rep.TrialsBudgeted,
-		})
+		}
+		if rc.mirrorVerify && e.Mirror != nil {
+			gen := mirrorbench.Generate(*e.Mirror)
+			fid, err := mirrorbench.Verify(rep.Routed, rep.FinalLayout, gen.Expected, rc.mirrorTol)
+			switch {
+			case errors.Is(err, mirrorbench.ErrTooWide):
+				// Advisory skip on big devices: the routed footprint
+				// outgrew the dense-unitary limit, so the check cannot
+				// run here. The -fig mirror gate (small topologies)
+				// treats the same condition as a failure.
+				fmt.Fprintf(os.Stderr, "mirror-verify: skipping %s/%s: %v\n", e.Name, rep.Router, err)
+			case err != nil:
+				verifyFailures++
+				ok := false
+				row.MirrorVerified = &ok
+				row.SurvivalFidelity = &fid
+				fmt.Fprintf(os.Stderr, "mirror-verify: FAIL %s/%s: %v\n", e.Name, rep.Router, err)
+			default:
+				ok := true
+				row.MirrorVerified = &ok
+				row.SurvivalFidelity = &fid
+			}
+		}
+		rows = append(rows, row)
 	}
 	for _, e := range suite(quick) {
 		c := e.Build()
 		q := transpileOne(c, topo, transpile.SABRE, false, nil, rc)
 		m := transpileOne(c, topo, transpile.MIRAGE, true, nil, rc)
-		addRow(e.Name, q)
-		addRow(e.Name, m)
+		addRow(e, q)
+		addRow(e, m)
 		fmt.Printf("%-22s | %9.1f %9.1f | %9.0f %9.0f | %6d %6d | %7.1f%% | %4d+%d/%d\n",
 			e.Name, q.DepthPulses, m.DepthPulses, q.TotalBasisGates, m.TotalBasisGates,
 			q.SwapsInserted, m.SwapsInserted, 100*m.MirrorAcceptRate,
@@ -449,4 +492,89 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 		}
 		fmt.Printf("wrote %s (%d rows)\n", jsonPath, len(f.Rows))
 	}
+	if verifyFailures > 0 {
+		fmt.Fprintf(os.Stderr, "mirror-verify: %d row(s) violated the survival identity\n", verifyFailures)
+		os.Exit(1)
+	}
+}
+
+// runMirror is the mirror-circuit semantic gate: every mirror-family
+// suite row is transpiled with both routers and the output is checked
+// against its analytically-known survival bitstring — no reference
+// transpiler needed, the mirror construction itself is the oracle. Any
+// violation (including a routed footprint too wide to verify, which on
+// the gate's small topologies indicates a routing bug) exits non-zero
+// after the JSON document is written, so CI still gets the artifact.
+func runMirror(rc *runConfig, topo *topology.Topology, quick bool, jsonPath string) {
+	var entries []bench.Entry
+	for _, e := range suite(quick) {
+		if e.Mirror != nil {
+			entries = append(entries, e)
+		}
+	}
+	fmt.Printf("Mirror-circuit semantic gate on %s (%dx%d trials, tol %.0e, %d circuits)\n",
+		topo.Name, rc.layout.LayoutTrials, rc.layout.RoutingTrials, rc.mirrorTol, len(entries))
+	fmt.Printf("%-22s %-8s | %8s | %18s | %9s %6s\n",
+		"circuit", "router", "verdict", "survival-fidelity", "depth", "swaps")
+	var rows []bench.RoutingRow
+	failures := 0
+	start := time.Now()
+	for _, e := range entries {
+		gen := mirrorbench.Generate(*e.Mirror)
+		for _, router := range []transpile.Router{transpile.SABRE, transpile.MIRAGE} {
+			rep := transpileOne(gen.Circuit, topo, router, router == transpile.MIRAGE, nil, rc)
+			fid, err := mirrorbench.Verify(rep.Routed, rep.FinalLayout, gen.Expected, rc.mirrorTol)
+			ok := err == nil
+			verdict := "pass"
+			if err != nil {
+				failures++
+				verdict = "FAIL"
+				fmt.Fprintf(os.Stderr, "mirror-verify: %s/%s: %v\n", e.Name, rep.Router, err)
+			}
+			rows = append(rows, bench.RoutingRow{
+				Seq:     len(rows),
+				Circuit: e.Name, Router: rep.Router,
+				WallMS:      float64(rep.Runtime.Microseconds()) / 1000,
+				DepthPulses: rep.DepthPulses, TotalGates: rep.TotalBasisGates,
+				Swaps: rep.SwapsInserted, Mirrors: rep.MirrorsUsed,
+				TrialsExecuted: rep.TrialsExecuted, TrialsBudgeted: rep.TrialsBudgeted,
+				MirrorVerified: &ok, SurvivalFidelity: &fid,
+			})
+			fmt.Printf("%-22s %-8s | %8s | %18.15f | %9.1f %6d\n",
+				e.Name, rep.Router, verdict, fid, rep.DepthPulses, rep.SwapsInserted)
+		}
+	}
+	total := time.Since(start)
+	fmt.Printf("total runtime: %s\n", total.Round(time.Millisecond))
+	if jsonPath != "" {
+		hits, misses := rc.cache.Stats()
+		f := &bench.RoutingBenchFile{
+			Topology:            topo.Name,
+			LayoutTrials:        rc.layout.LayoutTrials,
+			RoutingTrials:       rc.layout.RoutingTrials,
+			ConvergencePatience: rc.patience,
+			Seed:                rc.layout.Seed,
+			Parallelism:         pool.Size(rc.layout.Parallelism),
+			GOMAXPROCS:          runtime.GOMAXPROCS(0),
+			TotalWallMS:         float64(total.Microseconds()) / 1000,
+			Cache: &bench.RoutingCacheStats{
+				LoadedEntries: rc.cacheLoaded,
+				FinalEntries:  rc.cache.Len(),
+				Hits:          hits,
+				Misses:        misses,
+				HitRate:       rc.cache.HitRate(),
+			},
+			Rows: rows,
+		}
+		if err := f.WriteFile(jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", jsonPath, len(f.Rows))
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "mirror gate: %d/%d rows violated the survival identity\n", failures, len(rows))
+		os.Exit(1)
+	}
+	fmt.Printf("mirror gate: all %d rows preserved their survival bitstring\n", len(rows))
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/gates"
+	"repro/internal/mirrorbench"
 )
 
 // Entry describes a benchmark circuit.
@@ -21,38 +22,84 @@ type Entry struct {
 	Name  string
 	Class string
 	Build func() *circuit.Circuit
+	// Mirror marks a self-verifying mirror-circuit row: the generator
+	// spec regenerates the circuit and its analytically-known survival
+	// bitstring, so benchsuite can run the semantic |0...0>-survival
+	// gate on the transpiled output (mirrorbench.Verify). Nil for the
+	// paper's Table III rows.
+	Mirror *mirrorbench.Spec
 }
 
 // Suite returns the paper's Table III benchmark selection in the same
-// order.
+// order, followed by the Mirror workload family (MirrorSuite): the
+// self-verifying rows grow the suite beyond the paper's circuits and
+// give CI an external correctness oracle.
 func Suite() []Entry {
+	return append(paperSuite(), MirrorSuite()...)
+}
+
+// paperSuite returns the Table III selection in the paper's order.
+func paperSuite() []Entry {
+	row := func(name, class string, build func() *circuit.Circuit) Entry {
+		return Entry{Name: name, Class: class, Build: build}
+	}
 	return []Entry{
-		{"wstate_n27", "Entanglement", func() *circuit.Circuit { return WState(27) }},
-		{"qftentangled_n16", "Hidden Subgroup", func() *circuit.Circuit { return QFTEntangled(16) }},
-		{"qpeexact_n16", "Hidden Subgroup", func() *circuit.Circuit { return QPEExact(16) }},
-		{"ae_n16", "Hidden Subgroup", func() *circuit.Circuit { return AmplitudeEstimation(16) }},
-		{"qft_n18", "Hidden Subgroup", func() *circuit.Circuit { return QFT(18) }},
-		{"bv_n30", "Hidden Subgroup", func() *circuit.Circuit { return BernsteinVazirani(30, 18) }},
-		{"multiplier_n15", "Arithmetic", func() *circuit.Circuit { return Multiplier(15) }},
-		{"bigadder_n18", "Arithmetic", func() *circuit.Circuit { return BigAdder(18) }},
-		{"qec9xz_n17", "EC", func() *circuit.Circuit { return QEC9XZ(17) }},
-		{"seca_n11", "EC", func() *circuit.Circuit { return SECA(11) }},
-		{"qram_n20", "Memory", func() *circuit.Circuit { return QRAM(20) }},
-		{"sat_n11", "QML", func() *circuit.Circuit { return SAT(11) }},
-		{"portfolioqaoa_n16", "QML", func() *circuit.Circuit { return PortfolioQAOA(16, 3) }},
-		{"knn_n25", "QML", func() *circuit.Circuit { return KNN(25) }},
-		{"swap_test_n25", "QML", func() *circuit.Circuit { return SwapTest(25) }},
+		row("wstate_n27", "Entanglement", func() *circuit.Circuit { return WState(27) }),
+		row("qftentangled_n16", "Hidden Subgroup", func() *circuit.Circuit { return QFTEntangled(16) }),
+		row("qpeexact_n16", "Hidden Subgroup", func() *circuit.Circuit { return QPEExact(16) }),
+		row("ae_n16", "Hidden Subgroup", func() *circuit.Circuit { return AmplitudeEstimation(16) }),
+		row("qft_n18", "Hidden Subgroup", func() *circuit.Circuit { return QFT(18) }),
+		row("bv_n30", "Hidden Subgroup", func() *circuit.Circuit { return BernsteinVazirani(30, 18) }),
+		row("multiplier_n15", "Arithmetic", func() *circuit.Circuit { return Multiplier(15) }),
+		row("bigadder_n18", "Arithmetic", func() *circuit.Circuit { return BigAdder(18) }),
+		row("qec9xz_n17", "EC", func() *circuit.Circuit { return QEC9XZ(17) }),
+		row("seca_n11", "EC", func() *circuit.Circuit { return SECA(11) }),
+		row("qram_n20", "Memory", func() *circuit.Circuit { return QRAM(20) }),
+		row("sat_n11", "QML", func() *circuit.Circuit { return SAT(11) }),
+		row("portfolioqaoa_n16", "QML", func() *circuit.Circuit { return PortfolioQAOA(16, 3) }),
+		row("knn_n25", "QML", func() *circuit.Circuit { return KNN(25) }),
+		row("swap_test_n25", "QML", func() *circuit.Circuit { return SwapTest(25) }),
 	}
 }
 
+// MirrorSuite returns the Mirror workload family: deterministic
+// self-verifying mirror circuits (internal/mirrorbench) appended to
+// the paper suite as first-class rows. Each row regenerates from its
+// Spec, so distributed shards and the CI semantic gate agree on the
+// exact circuit and its survival bitstring. Seeds are chosen so every
+// interaction graph has a vertex of degree >= 2 (the suite's
+// needs-routing admission check) and the randomized-Clifford rows
+// carry mixed survival bitstrings.
+func MirrorSuite() []Entry {
+	specs := []mirrorbench.Spec{
+		{Kind: mirrorbench.RandomizedClifford, Qubits: 5, Layers: 4, Seed: 1},
+		{Kind: mirrorbench.RandomizedClifford, Qubits: 6, Layers: 6, Seed: 2},
+		{Kind: mirrorbench.QuantumVolume, Qubits: 4, Layers: 3, Seed: 7},
+		{Kind: mirrorbench.QuantumVolume, Qubits: 5, Layers: 4, Seed: 3},
+	}
+	out := make([]Entry, 0, len(specs))
+	for _, s := range specs {
+		s := s
+		out = append(out, Entry{
+			Name:   s.Name(),
+			Class:  "Mirror",
+			Build:  func() *circuit.Circuit { return mirrorbench.Generate(s).Circuit },
+			Mirror: &s,
+		})
+	}
+	return out
+}
+
 // QuickSuite returns the reduced -quick subset — one circuit per
-// benchmark class — shared by cmd/benchsuite and cmd/miraged so their
-// quick lanes always benchmark the same circuits (and their
-// BENCH_routing.json rows stay comparable).
+// benchmark class (including one row per mirror family) — shared by
+// cmd/benchsuite and cmd/miraged so their quick lanes always benchmark
+// the same circuits (and their BENCH_routing.json rows stay
+// comparable).
 func QuickSuite() []Entry {
 	keep := map[string]bool{
 		"wstate_n27": true, "qft_n18": true, "qec9xz_n17": true,
 		"bigadder_n18": true, "knn_n25": true,
+		"mirror_rc_n5_l4_s1": true, "mirror_qv_n4_l3_s7": true,
 	}
 	var out []Entry
 	for _, e := range Suite() {

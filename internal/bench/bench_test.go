@@ -1,7 +1,11 @@
 package bench
 
 import (
+	"fmt"
+	"strings"
 	"testing"
+
+	"repro/internal/mirrorbench"
 )
 
 // TestTableIIICounts checks the generated circuits against the paper's
@@ -169,8 +173,71 @@ func TestBigAdderAddition(t *testing.T) {
 }
 
 func TestByNameUnknown(t *testing.T) {
-	if _, err := ByName("nope"); err == nil {
-		t.Fatal("expected error for unknown circuit")
+	// The error must name the missing circuit (benchsuite prints it
+	// straight to the user) and near-misses must not fuzzy-match.
+	for _, name := range []string{"nope", "", "QFT_N18", "mirror_rc_n5_l4_s99"} {
+		e, err := ByName(name)
+		if err == nil {
+			t.Fatalf("ByName(%q) resolved to %q, want error", name, e.Name)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("%q", name)) {
+			t.Errorf("ByName(%q) error %q does not name the circuit", name, err)
+		}
+	}
+	// Known names (paper and mirror families) must still resolve.
+	for _, name := range []string{"qft_n18", "mirror_rc_n5_l4_s1"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+}
+
+// TestMirrorSuiteEntries pins the contract benchsuite and the CI gate
+// rely on: every mirror row carries its generator spec, is named after
+// it, claims the Mirror class, and Build() reproduces exactly the
+// circuit the spec generates (same op count and width — bit-identity
+// of the op stream is covered by mirrorbench's determinism test).
+func TestMirrorSuiteEntries(t *testing.T) {
+	rows := MirrorSuite()
+	if len(rows) < 4 {
+		t.Fatalf("MirrorSuite has %d rows, want >= 4 (two per family)", len(rows))
+	}
+	kinds := map[mirrorbench.Kind]int{}
+	for _, e := range rows {
+		if e.Mirror == nil {
+			t.Fatalf("%s: nil Mirror spec", e.Name)
+		}
+		if e.Class != "Mirror" {
+			t.Errorf("%s: class %q, want Mirror", e.Name, e.Class)
+		}
+		if e.Name != e.Mirror.Name() {
+			t.Errorf("entry name %q != spec name %q", e.Name, e.Mirror.Name())
+		}
+		kinds[e.Mirror.Kind]++
+		gen := mirrorbench.Generate(*e.Mirror)
+		built := e.Build()
+		if built.NumQubits != gen.Circuit.NumQubits || len(built.Ops) != len(gen.Circuit.Ops) {
+			t.Errorf("%s: Build() diverges from Generate(spec): %d/%d ops, %d/%d qubits",
+				e.Name, len(built.Ops), len(gen.Circuit.Ops), built.NumQubits, gen.Circuit.NumQubits)
+		}
+	}
+	if kinds[mirrorbench.RandomizedClifford] == 0 || kinds[mirrorbench.QuantumVolume] == 0 {
+		t.Fatalf("suite missing a mirror family: %v", kinds)
+	}
+	// The full suite appends the mirror rows after the paper rows, and
+	// the quick subset keeps one row per family.
+	suite := Suite()
+	if got := len(suite); got != len(paperSuite())+len(rows) {
+		t.Fatalf("Suite has %d rows, want %d paper + %d mirror", got, len(paperSuite()), len(rows))
+	}
+	quickKinds := map[mirrorbench.Kind]int{}
+	for _, e := range QuickSuite() {
+		if e.Mirror != nil {
+			quickKinds[e.Mirror.Kind]++
+		}
+	}
+	if quickKinds[mirrorbench.RandomizedClifford] != 1 || quickKinds[mirrorbench.QuantumVolume] != 1 {
+		t.Fatalf("QuickSuite mirror rows per family = %v, want exactly one each", quickKinds)
 	}
 }
 

@@ -52,6 +52,72 @@ func TestMergeRoutingFilesRestoresSerialOrder(t *testing.T) {
 	}
 }
 
+// TestMergeRoutingFilesInterleavedMirrorFamily: shards that split the
+// suite mid-family — mirror rows (carrying mirror_verified and
+// survival_fidelity) interleaved with paper rows across fragments —
+// must merge back to serial order with the verification fields intact.
+// This is the sharding contract for the Mirror suite rows: the fields
+// are per-row payload keyed only by seq, never recomputed by the
+// merger.
+func TestMergeRoutingFilesInterleavedMirrorFamily(t *testing.T) {
+	mirrorRow := func(seq int, name, router string, ok bool, fid float64) RoutingRow {
+		r := row(seq, name, router, 12)
+		r.MirrorVerified = &ok
+		r.SurvivalFidelity = &fid
+		return r
+	}
+	a, b, c := header(), header(), header()
+	a.Rows = []RoutingRow{
+		row(0, "qft_n18", "sabre", 10),
+		mirrorRow(3, "mirror_rc_n5_l4_s1", "mirage", true, 1.0),
+		row(4, "knn_n25", "sabre", 7),
+	}
+	b.Rows = []RoutingRow{
+		mirrorRow(2, "mirror_rc_n5_l4_s1", "sabre", true, 0.9999999999999997),
+		row(5, "knn_n25", "mirage", 6),
+		mirrorRow(6, "mirror_qv_n4_l3_s7", "sabre", false, 0.25),
+	}
+	c.Rows = []RoutingRow{
+		row(1, "qft_n18", "mirage", 8),
+		mirrorRow(7, "mirror_qv_n4_l3_s7", "mirage", true, 1.0),
+	}
+
+	merged, err := MergeRoutingFiles([]*RoutingBenchFile{&c, &a, &b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != 8 {
+		t.Fatalf("merged %d rows, want 8", len(merged.Rows))
+	}
+	wantVerified := []*bool{nil, nil, boolPtr(true), boolPtr(true), nil, nil, boolPtr(false), boolPtr(true)}
+	for i, r := range merged.Rows {
+		if r.Seq != i {
+			t.Fatalf("row %d has seq %d", i, r.Seq)
+		}
+		want := wantVerified[i]
+		if (r.MirrorVerified == nil) != (want == nil) {
+			t.Fatalf("row %d (%s/%s): mirror_verified presence = %v, want %v",
+				i, r.Circuit, r.Router, r.MirrorVerified != nil, want != nil)
+		}
+		if want != nil && *r.MirrorVerified != *want {
+			t.Fatalf("row %d: mirror_verified = %v, want %v", i, *r.MirrorVerified, *want)
+		}
+		if (r.MirrorVerified == nil) != (r.SurvivalFidelity == nil) {
+			t.Fatalf("row %d: verification fields split across the merge", i)
+		}
+	}
+	// Fidelity payloads must come through bit-exact (shards reproduce
+	// them deterministically; the merge must not perturb them).
+	if got := *merged.Rows[2].SurvivalFidelity; got != 0.9999999999999997 {
+		t.Fatalf("row 2 fidelity = %v", got)
+	}
+	if got := *merged.Rows[6].SurvivalFidelity; got != 0.25 {
+		t.Fatalf("row 6 fidelity = %v", got)
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
+
 func TestMergeRoutingFilesRejectsMismatchedRuns(t *testing.T) {
 	a, b := header(), header()
 	a.Rows = []RoutingRow{row(0, "x", "sabre", 1)}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -39,6 +40,56 @@ func TestPatienceSweepFileRoundTrip(t *testing.T) {
 		out.Rows[1].Patience != 120 || out.Rows[1].TrialsExecuted != 2853 ||
 		out.Rows[1].DepthRegressPct != 2.26 {
 		t.Fatalf("round trip mangled the document: %+v", out)
+	}
+}
+
+// TestRoutingBenchFileMirrorFieldsRoundTrip: the mirror verification
+// fields must survive the write/read cycle exactly, and must be
+// omitted entirely — not rendered as null/zero — on rows where the
+// check did not run, so pre-mirror consumers of BENCH_routing.json see
+// an unchanged schema.
+func TestRoutingBenchFileMirrorFieldsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_routing.json")
+	ok, bad := true, false
+	passFid, failFid := 0.9999999999999998, 0.03125
+	in := &RoutingBenchFile{
+		Topology: "grid-3x4",
+		Rows: []RoutingRow{
+			{Seq: 0, Circuit: "qft_n18", Router: "sabre", DepthPulses: 278},
+			{Seq: 1, Circuit: "mirror_rc_n5_l4_s1", Router: "sabre",
+				MirrorVerified: &ok, SurvivalFidelity: &passFid},
+			{Seq: 2, Circuit: "mirror_qv_n4_l3_s7", Router: "mirage",
+				MirrorVerified: &bad, SurvivalFidelity: &failFid},
+		},
+	}
+	if err := in.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRoutingBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0].MirrorVerified != nil || out.Rows[0].SurvivalFidelity != nil {
+		t.Fatalf("non-mirror row grew verification fields: %+v", out.Rows[0])
+	}
+	if out.Rows[1].MirrorVerified == nil || !*out.Rows[1].MirrorVerified ||
+		out.Rows[1].SurvivalFidelity == nil || *out.Rows[1].SurvivalFidelity != passFid {
+		t.Fatalf("passing mirror row mangled: %+v", out.Rows[1])
+	}
+	if out.Rows[2].MirrorVerified == nil || *out.Rows[2].MirrorVerified ||
+		out.Rows[2].SurvivalFidelity == nil || *out.Rows[2].SurvivalFidelity != failFid {
+		t.Fatalf("failing mirror row mangled: %+v", out.Rows[2])
+	}
+	// The omitempty contract, checked on the raw bytes: the field names
+	// must appear exactly twice (the two mirror rows), never on row 0.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"mirror_verified", "survival_fidelity"} {
+		if n := strings.Count(string(data), field); n != 2 {
+			t.Fatalf("%q appears %d times in the document, want 2", field, n)
+		}
 	}
 }
 

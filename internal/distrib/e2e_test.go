@@ -9,6 +9,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/dispatch"
 	"repro/internal/gates"
+	"repro/internal/mirrorbench"
 	"repro/internal/polytope"
 	"repro/internal/sabre"
 	"repro/internal/topology"
@@ -421,6 +422,67 @@ func TestDistributedOverLoopbackTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	resultsEqual(t, "tcp", want, got)
+}
+
+// TestDistributedMirrorSurvival: self-verifying mirror circuits —
+// whose Haar-random su4 blocks ride the wire codec as raw matrices —
+// transpiled through the cluster must be bit-identical to the local
+// pipeline AND still map |0...0> to their analytically-known
+// bitstring. This is the semantic half of the determinism contract:
+// not merely "same answer everywhere" but "the right answer".
+func TestDistributedMirrorSurvival(t *testing.T) {
+	topo := topology.Grid(3, 4)
+	base := transpile.Options{
+		Router: transpile.MIRAGE, DepthSelection: true, SkipTrivialLayout: true,
+		Layout: sabre.LayoutOptions{LayoutTrials: 2, RoutingTrials: 3, FwdBwdPasses: 1, Seed: 3},
+	}
+	specs := []mirrorbench.Spec{
+		{Kind: mirrorbench.RandomizedClifford, Qubits: 5, Layers: 4, Seed: 1},
+		{Kind: mirrorbench.QuantumVolume, Qubits: 4, Layers: 3, Seed: 7},
+	}
+
+	// RouteFn seam: remote trial grids, one circuit at a time.
+	for _, s := range specs {
+		m := mirrorbench.Generate(s)
+		want, err := transpile.Transpile(m.Circuit, topo, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := startCluster(t, 2, 0, 0)
+		dopts, err := cl.Options(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := transpile.Transpile(m.Circuit, topo, dopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, s.Name(), want, got)
+		if _, err := mirrorbench.Verify(got.Routed, got.FinalLayout, m.Expected, 1e-9); err != nil {
+			t.Errorf("%s violated its survival identity after distributed routing: %v", s.Name(), err)
+		}
+	}
+
+	// Batch seam (the miraged coordinator path): whole mirror circuits
+	// shipped to workers, reports shipped back.
+	var circuits []*circuit.Circuit
+	var mirrors []*mirrorbench.Mirror
+	for _, s := range specs {
+		m := mirrorbench.Generate(s)
+		mirrors = append(mirrors, m)
+		circuits = append(circuits, m.Circuit)
+	}
+	cl := startCluster(t, 2, 0, 0)
+	cl.CircuitLease = 1
+	reps, err := cl.TranspileBatch(circuits, topo, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if _, err := mirrorbench.Verify(rep.Routed, rep.FinalLayout, mirrors[i].Expected, 1e-9); err != nil {
+			t.Errorf("%s violated its survival identity after batch dispatch: %v", specs[i].Name(), err)
+		}
+	}
 }
 
 // TestDistributedRejectsCustomBasis: a non-recipe basis cannot be

@@ -1,0 +1,271 @@
+// Package mirrorbench generates self-verifying mirror-circuit
+// workloads: circuits whose ideal output state is known analytically,
+// so a transpiled version can be checked against an *external* oracle
+// instead of a reference implementation.
+//
+// Two generator families are provided, both deterministic in a seed:
+//
+//   - Randomized mirror circuits (Proctor et al., arXiv:2112.09853):
+//     sampled single-qubit Clifford layers interleaved with random
+//     CX/CZ entangling layers, a central Pauli randomization layer,
+//     then the exact inverse of the first half reflected back. The
+//     whole circuit composes to F^-1 P F for Clifford F and Pauli P —
+//     itself a Pauli — so the ideal output on |0...0> is a known
+//     computational bitstring, tracked classically by conjugating P
+//     through the mirrored half (no simulation involved).
+//
+//   - Mirror quantum-volume circuits (arXiv:2303.02108, the mitiq
+//     construction): Layers rounds of Haar-random SU(4) blocks on
+//     randomly paired qubits followed by their exact daggers in
+//     reverse, composing to the identity. The ideal output is |0...0>.
+//
+// Because the invariant is basis-independent, it survives every
+// transpiler decision — layout, SWAP insertion, mirror-gate
+// substitution, block consolidation — and Verify can therefore catch
+// whole-pipeline bugs that bit-identity tests against RouteReference
+// structurally cannot (both engine and reference being wrong
+// together).
+package mirrorbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/haar"
+)
+
+// Kind selects a generator family.
+type Kind int
+
+// Generator families.
+const (
+	// RandomizedClifford is the Proctor-style randomized mirror
+	// circuit: Clifford + Pauli layers reflected around a central
+	// randomization layer. Survival bitstring is generally non-zero.
+	RandomizedClifford Kind = iota
+	// QuantumVolume is the mirror quantum-volume circuit: Haar SU(4)
+	// layers followed by their exact inverses. Survival bitstring is
+	// all zeros.
+	QuantumVolume
+)
+
+func (k Kind) String() string {
+	if k == QuantumVolume {
+		return "qv"
+	}
+	return "rc"
+}
+
+// Spec is a deterministic generator recipe: the same spec always
+// produces the same circuit and expected outcome, on any machine (the
+// generators draw only from math/rand sources, whose sequences are
+// stable under the Go 1 compatibility promise).
+type Spec struct {
+	Kind   Kind
+	Qubits int
+	// Layers is the half-depth: the number of sampled layers before
+	// the mirror point. The emitted circuit has 2*Layers layer groups
+	// plus (for RandomizedClifford) the central Pauli layer.
+	Layers int
+	Seed   int64
+}
+
+// Name renders the spec as a stable suite row name, e.g.
+// "mirror_rc_n5_l4_s1".
+func (s Spec) Name() string {
+	return fmt.Sprintf("mirror_%s_n%d_l%d_s%d", s.Kind, s.Qubits, s.Layers, s.Seed)
+}
+
+// Mirror is a generated mirror circuit together with its
+// analytically-known ideal outcome.
+type Mirror struct {
+	Spec    Spec
+	Circuit *circuit.Circuit
+	// Expected is the ideal survival bitstring on logical qubits: the
+	// whole circuit maps |0...0> to (phase) |Expected>. All zeros for
+	// QuantumVolume; the tracked Pauli frame for RandomizedClifford.
+	Expected []int
+}
+
+// Generate builds the mirror circuit for the spec.
+func Generate(s Spec) *Mirror {
+	if s.Qubits < 2 {
+		panic(fmt.Sprintf("mirrorbench: %d qubits, need at least 2", s.Qubits))
+	}
+	if s.Layers < 1 {
+		panic(fmt.Sprintf("mirrorbench: %d layers, need at least 1", s.Layers))
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	switch s.Kind {
+	case QuantumVolume:
+		return generateQV(s, rng)
+	case RandomizedClifford:
+		return generateRC(s, rng)
+	}
+	panic(fmt.Sprintf("mirrorbench: unknown kind %d", s.Kind))
+}
+
+// halfOp is one first-half gate application, retained so the second
+// half can replay exact inverses in reverse order.
+type halfOp struct {
+	gate   gates.Gate
+	qubits []int
+}
+
+// generateQV emits Layers rounds of Haar SU(4) blocks on random
+// disjoint pairs, then the daggered rounds reflected back. The total
+// unitary is exactly the identity, so the survival bitstring is all
+// zeros.
+func generateQV(s Spec, rng *rand.Rand) *Mirror {
+	c := circuit.New(s.Name(), s.Qubits)
+	var half []halfOp
+	for l := 0; l < s.Layers; l++ {
+		perm := rng.Perm(s.Qubits)
+		for i := 0; i+1 < s.Qubits; i += 2 {
+			g := haar.SU4Gate(rng)
+			q := []int{perm[i], perm[i+1]}
+			c.Add(g, q...)
+			half = append(half, halfOp{g, q})
+		}
+	}
+	appendInverses(c, half, nil)
+	return &Mirror{Spec: s, Circuit: c, Expected: make([]int, s.Qubits)}
+}
+
+// rcCliffords is the 1Q Clifford alphabet of the randomized mirror
+// generator; every member has simple Pauli-conjugation rules (see
+// pauliFrame.conjugate) and an in-alphabet inverse.
+var rcCliffords = []func() gates.Gate{
+	gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.Sdg,
+}
+
+// generateRC emits Layers rounds of [1Q Clifford layer, entangling
+// CX/CZ layer on random disjoint pairs], a central Pauli layer P,
+// then the exact inverse rounds reflected back. With F the first
+// half, the circuit composes to F^-1 P F — a Pauli, because Clifford
+// conjugation preserves the Pauli group — and that Pauli's X-support
+// is the survival bitstring.
+func generateRC(s Spec, rng *rand.Rand) *Mirror {
+	c := circuit.New(s.Name(), s.Qubits)
+	var half []halfOp
+	add := func(g gates.Gate, qs ...int) {
+		c.Add(g, qs...)
+		half = append(half, halfOp{g, qs})
+	}
+	for l := 0; l < s.Layers; l++ {
+		for q := 0; q < s.Qubits; q++ {
+			add(rcCliffords[rng.Intn(len(rcCliffords))](), q)
+		}
+		perm := rng.Perm(s.Qubits)
+		for i := 0; i+1 < s.Qubits; i += 2 {
+			if rng.Intn(2) == 0 {
+				add(gates.CX(), perm[i], perm[i+1])
+			} else {
+				add(gates.CZ(), perm[i], perm[i+1])
+			}
+		}
+	}
+
+	// Central Pauli randomization layer. It is not part of the
+	// mirrored half: it is what makes the ideal outcome a non-trivial
+	// bitstring instead of |0...0>, so a transpiler that accidentally
+	// drops or reorders whole layers cannot pass by symmetry.
+	frame := newPauliFrame(s.Qubits)
+	for q := 0; q < s.Qubits; q++ {
+		switch rng.Intn(4) {
+		case 1: // X
+			c.Add(gates.X(), q)
+			frame.x[q] = true
+		case 2: // Y
+			c.Add(gates.Y(), q)
+			frame.x[q], frame.z[q] = true, true
+		case 3: // Z
+			c.Add(gates.Z(), q)
+			frame.z[q] = true
+		}
+	}
+
+	appendInverses(c, half, frame)
+	return &Mirror{Spec: s, Circuit: c, Expected: frame.bits()}
+}
+
+// appendInverses replays the first half's exact inverses in reverse
+// order. When a Pauli frame is supplied, each appended inverse g also
+// conjugates the frame (P <- g P g^dagger) in application order: the
+// second half applies g_1 ... g_m with F^-1 = g_m···g_1 as a matrix,
+// so the circuit's total unitary F^-1 P F equals the frame after
+// conjugating by g_1 first, then g_2, and so on.
+func appendInverses(c *circuit.Circuit, half []halfOp, frame *pauliFrame) {
+	for i := len(half) - 1; i >= 0; i-- {
+		g := inverse(half[i].gate)
+		c.Add(g, half[i].qubits...)
+		if frame != nil {
+			frame.conjugate(g.Name, half[i].qubits)
+		}
+	}
+}
+
+// inverse returns the exact inverse gate, staying inside the named
+// alphabet where one exists (self-inverse gates and the S/Sdg pair)
+// and falling back to the dagger for numeric gates like su4.
+func inverse(g gates.Gate) gates.Gate {
+	switch g.Name {
+	case "x", "y", "z", "h", "cx", "cz", "swap":
+		return g
+	case "s":
+		return gates.Sdg()
+	case "sdg":
+		return gates.S()
+	}
+	return gates.Dagger(g)
+}
+
+// pauliFrame tracks an n-qubit Pauli operator in the symplectic (x, z)
+// representation, ignoring phase: phase shifts the amplitude's sign,
+// never the survival bitstring, and Verify compares |amplitude| only.
+type pauliFrame struct {
+	x, z []bool
+}
+
+func newPauliFrame(n int) *pauliFrame {
+	return &pauliFrame{x: make([]bool, n), z: make([]bool, n)}
+}
+
+// conjugate applies P <- g P g^dagger for the named Clifford gate on
+// the given qubits. Only the generator alphabet is supported; an
+// unknown name panics rather than silently corrupting the oracle.
+func (f *pauliFrame) conjugate(name string, qubits []int) {
+	switch name {
+	case "x", "y", "z": // Paulis commute with Paulis up to phase
+	case "h":
+		q := qubits[0]
+		f.x[q], f.z[q] = f.z[q], f.x[q]
+	case "s", "sdg": // X <-> +-Y; Z fixed
+		q := qubits[0]
+		f.z[q] = f.z[q] != f.x[q]
+	case "cx":
+		ctrl, tgt := qubits[0], qubits[1]
+		f.x[tgt] = f.x[tgt] != f.x[ctrl]
+		f.z[ctrl] = f.z[ctrl] != f.z[tgt]
+	case "cz":
+		a, b := qubits[0], qubits[1]
+		f.z[a] = f.z[a] != f.x[b]
+		f.z[b] = f.z[b] != f.x[a]
+	default:
+		panic(fmt.Sprintf("mirrorbench: no Pauli conjugation rule for gate %q", name))
+	}
+}
+
+// bits renders the frame's X-support as the survival bitstring: a
+// Pauli with X-support b maps |0...0> to (phase) |b>.
+func (f *pauliFrame) bits() []int {
+	out := make([]int, len(f.x))
+	for i, v := range f.x {
+		if v {
+			out[i] = 1
+		}
+	}
+	return out
+}

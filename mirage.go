@@ -34,6 +34,7 @@ import (
 	"repro/internal/haar"
 	"repro/internal/linalg"
 	mirpkg "repro/internal/mirage"
+	"repro/internal/mirrorbench"
 	"repro/internal/polytope"
 	"repro/internal/sabre"
 	"repro/internal/topology"
@@ -295,6 +296,11 @@ type BenchmarkEntry = bench.Entry
 // BenchmarkSuite returns the paper's benchmark selection.
 func BenchmarkSuite() []BenchmarkEntry { return bench.Suite() }
 
+// MirrorBenchmarkSuite returns the Mirror workload family: the
+// self-verifying mirror-circuit rows of the full suite (each Entry's
+// Mirror field carries the generator spec).
+func MirrorBenchmarkSuite() []BenchmarkEntry { return bench.MirrorSuite() }
+
 // QFT returns the n-qubit quantum Fourier transform.
 func QFT(n int) *Circuit { return bench.QFT(n) }
 
@@ -303,3 +309,42 @@ func GHZ(n int) *Circuit { return bench.GHZ(n) }
 
 // TwoLocal returns the fully entangled ansatz of paper Fig. 8a.
 func TwoLocal(n int) *Circuit { return bench.TwoLocal(n) }
+
+// --- Mirror circuits (self-verifying workloads) ---
+
+// MirrorSpec deterministically identifies a mirror circuit: kind
+// (randomized Clifford or mirror quantum volume), width, depth and
+// seed. Equal specs regenerate bit-identical circuits and outcomes.
+type MirrorSpec = mirrorbench.Spec
+
+// MirrorCircuit is a generated mirror circuit together with its
+// analytically-known survival bitstring.
+type MirrorCircuit = mirrorbench.Mirror
+
+// MirrorKind selects the mirror-circuit family.
+type MirrorKind = mirrorbench.Kind
+
+// Mirror-circuit families.
+const (
+	MirrorRandomizedClifford = mirrorbench.RandomizedClifford
+	MirrorQuantumVolume      = mirrorbench.QuantumVolume
+)
+
+// GenerateMirror builds the mirror circuit of a spec: a forward half,
+// an optional central Pauli layer, and the exact inverse half, so the
+// ideal output state is a known computational basis state — an
+// end-to-end correctness oracle for any transpiler.
+func GenerateMirror(s MirrorSpec) *MirrorCircuit { return mirrorbench.Generate(s) }
+
+// VerifyMirror checks a transpiled mirror circuit against its expected
+// survival bitstring through the final layout, returning the survival
+// fidelity |<expected|U|0...0>|^2. It fails when the infidelity
+// exceeds tol, and reports ErrMirrorTooWide when the routed footprint
+// exceeds the dense-unitary limit.
+func VerifyMirror(routed *Circuit, final *Layout, expected []int, tol float64) (float64, error) {
+	return mirrorbench.Verify(routed, final, expected, tol)
+}
+
+// ErrMirrorTooWide reports a routed circuit too wide for dense-unitary
+// mirror verification (see VerifyMirror).
+var ErrMirrorTooWide = mirrorbench.ErrTooWide
