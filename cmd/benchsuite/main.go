@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -90,8 +91,40 @@ func main() {
 		listen    = flag.String("listen", "", "coordinator address for distributed trials (e.g. 127.0.0.1:7117); workers join with `miraged worker -connect`")
 		workers   = flag.Int("workers", 0, "remote workers to wait for before starting (requires -listen)")
 		lease     = flag.Int("lease", 0, "routing trials per work-queue lease in distributed mode (0 = default)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (pprof format)")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	)
 	flag.Parse()
+
+	// Profiles cover the run end to end so the routing lane in CI can
+	// archive where suite time actually goes. Error paths exit without
+	// flushing — the profile artifact is a success-path deliverable.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			}
+		}()
+	}
 
 	if err := (bench.SchedulerFlags{
 		Parallel: *parallel, Patience: *patience, Trials: *trials,
@@ -235,6 +268,12 @@ func runPatienceSweep(rc *runConfig, topo *topology.Topology, quick bool, spec, 
 	for _, e := range entries {
 		file.Circuits = append(file.Circuits, e.Name)
 	}
+	// One prepared analysis per circuit, reused by every patience value:
+	// the sweep varies only the stop rule, never the circuit.
+	prepped := make([]*transpile.PreparedCircuit, len(entries))
+	for i, e := range entries {
+		prepped[i] = prepareOne(e.Build(), topo)
+	}
 	var fullDepth float64
 	for vi, p := range values {
 		rcp := *rc
@@ -242,8 +281,8 @@ func runPatienceSweep(rc *runConfig, topo *topology.Topology, quick bool, spec, 
 		var row bench.PatienceSweepRow
 		row.Patience = p
 		start := time.Now()
-		for _, e := range entries {
-			rep := transpileOne(e.Build(), topo, transpile.MIRAGE, true, nil, &rcp)
+		for _, pc := range prepped {
+			rep := transpileOne(pc, transpile.MIRAGE, true, nil, &rcp)
 			row.DepthPulsesSum += rep.DepthPulses
 			row.TrialsExecuted += rep.TrialsExecuted
 			row.TrialsBudgeted += rep.TrialsBudgeted
@@ -312,14 +351,23 @@ func runTable3() {
 	}
 }
 
-func transpileOne(c *circuit.Circuit, topo *topology.Topology, router transpile.Router,
+// transpileOne runs one router configuration over a shared
+// PreparedCircuit. Callers prepare each circuit once (see prepareOne)
+// and reuse the analysis across every router/aggression/patience row,
+// so the per-circuit cleaning, consolidation and DAG construction is
+// paid once per circuit rather than once per row.
+func transpileOne(pc *transpile.PreparedCircuit, router transpile.Router,
 	depth bool, fixed *mirage.Aggression, rc *runConfig) *transpile.Report {
-	rep, err := transpile.Transpile(c, topo, rc.options(router, depth, fixed))
+	rep, err := transpile.TranspilePrepared(pc, rc.options(router, depth, fixed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	return rep
+}
+
+func prepareOne(c *circuit.Circuit, topo *topology.Topology) *transpile.PreparedCircuit {
+	return transpile.PrepareCircuit(c, topo)
 }
 
 func runFig10(rc *runConfig) {
@@ -333,12 +381,12 @@ func runFig10(rc *runConfig) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		c := e.Build()
-		base := transpileOne(c, topo, transpile.SABRE, false, nil, rc)
+		pc := prepareOne(e.Build(), topo)
+		base := transpileOne(pc, transpile.SABRE, false, nil, rc)
 		row := fmt.Sprintf("%-16s %10.1f", name, base.DepthPulses)
 		for lvl := 0; lvl <= 3; lvl++ {
 			a := mirage.Aggression(lvl)
-			rep := transpileOne(c, topo, transpile.MIRAGE, true, &a, rc)
+			rep := transpileOne(pc, transpile.MIRAGE, true, &a, rc)
 			row += fmt.Sprintf(" %10.1f", rep.DepthPulses)
 		}
 		fmt.Println(row)
@@ -352,10 +400,10 @@ func runFig11(rc *runConfig, topo *topology.Topology, quick bool) {
 	fmt.Printf("%-22s %10s %14s %14s\n", "circuit", "qiskit", "mirage-swaps", "mirage-depth")
 	var dq, ds, dd float64
 	for _, e := range suite(quick) {
-		c := e.Build()
-		q := transpileOne(c, topo, transpile.SABRE, false, nil, rc)
-		s := transpileOne(c, topo, transpile.MIRAGE, false, nil, rc)
-		d := transpileOne(c, topo, transpile.MIRAGE, true, nil, rc)
+		pc := prepareOne(e.Build(), topo)
+		q := transpileOne(pc, transpile.SABRE, false, nil, rc)
+		s := transpileOne(pc, transpile.MIRAGE, false, nil, rc)
+		d := transpileOne(pc, transpile.MIRAGE, true, nil, rc)
 		fmt.Printf("%-22s %10.1f %14.1f %14.1f\n", e.Name, q.DepthPulses, s.DepthPulses, d.DepthPulses)
 		dq += q.DepthPulses
 		ds += s.DepthPulses
@@ -415,9 +463,9 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 		rows = append(rows, row)
 	}
 	for _, e := range suite(quick) {
-		c := e.Build()
-		q := transpileOne(c, topo, transpile.SABRE, false, nil, rc)
-		m := transpileOne(c, topo, transpile.MIRAGE, true, nil, rc)
+		pc := prepareOne(e.Build(), topo)
+		q := transpileOne(pc, transpile.SABRE, false, nil, rc)
+		m := transpileOne(pc, transpile.MIRAGE, true, nil, rc)
 		addRow(e, q)
 		addRow(e, m)
 		fmt.Printf("%-22s | %9.1f %9.1f | %9.0f %9.0f | %6d %6d | %7.1f%% | %4d+%d/%d\n",
@@ -521,8 +569,9 @@ func runMirror(rc *runConfig, topo *topology.Topology, quick bool, jsonPath stri
 	start := time.Now()
 	for _, e := range entries {
 		gen := mirrorbench.Generate(*e.Mirror)
+		pc := prepareOne(gen.Circuit, topo)
 		for _, router := range []transpile.Router{transpile.SABRE, transpile.MIRAGE} {
-			rep := transpileOne(gen.Circuit, topo, router, router == transpile.MIRAGE, nil, rc)
+			rep := transpileOne(pc, router, router == transpile.MIRAGE, nil, rc)
 			fid, err := mirrorbench.Verify(rep.Routed, rep.FinalLayout, gen.Expected, rc.mirrorTol)
 			ok := err == nil
 			verdict := "pass"

@@ -129,8 +129,27 @@ func TestFlatTraversalMatchesTraversal(t *testing.T) {
 
 func checkReadyEqual(t *testing.T, trial, step int, ref *Traversal, ft *FlatTraversal) {
 	t.Helper()
-	if !sameEdges(ft.Ready, ref.Ready) {
-		t.Fatalf("trial %d step %d: ready %v, want %v", trial, step, ft.Ready, ref.Ready)
+	got := ft.AppendReady(nil)
+	if !sameEdges(got, ref.Ready) {
+		t.Fatalf("trial %d step %d: ready %v, want %v", trial, step, got, ref.Ready)
+	}
+	if ft.ReadyLen() != len(ref.Ready) {
+		t.Fatalf("trial %d step %d: ReadyLen %d, want %d", trial, step, ft.ReadyLen(), len(ref.Ready))
+	}
+	// The cursor iteration and the snapshot must agree, and insertion
+	// ordinals must be strictly increasing along the list.
+	k := 0
+	lastSeq := int32(-1)
+	for i := ft.ReadyFirst(); i >= 0; i = ft.ReadyNext(i) {
+		if got[k] != i {
+			t.Fatalf("trial %d step %d: cursor[%d] = %d, snapshot %d", trial, step, k, i, got[k])
+		}
+		if s := ft.ReadySeq(i); s <= lastSeq {
+			t.Fatalf("trial %d step %d: seq not increasing at op %d (%d <= %d)", trial, step, i, s, lastSeq)
+		} else {
+			lastSeq = s
+		}
+		k++
 	}
 }
 
@@ -146,14 +165,15 @@ func TestFlatTraversalResetReuse(t *testing.T) {
 		reused.Reset(fd)
 		fresh := fd.NewFlatTraversal()
 		for !fresh.Done() {
-			if !sameEdges(reused.Ready, ids(fresh.Ready)) {
-				t.Fatalf("trial %d: reused ready %v, fresh %v", trial, reused.Ready, fresh.Ready)
+			ru, fr := reused.AppendReady(nil), fresh.AppendReady(nil)
+			if !sameEdges(ru, ids(fr)) {
+				t.Fatalf("trial %d: reused ready %v, fresh %v", trial, ru, fr)
 			}
 			d1, d2 := reused.Descendants(8), fresh.Descendants(8)
 			if !sameEdges(d1, ids(d2)) {
 				t.Fatalf("trial %d: reused descendants %v, fresh %v", trial, d1, d2)
 			}
-			pick := int(fresh.Ready[rng.Intn(len(fresh.Ready))])
+			pick := int(fr[rng.Intn(len(fr))])
 			fresh.Execute(pick)
 			reused.Execute(pick)
 		}
@@ -210,13 +230,86 @@ func TestFlatDAGSharedReaders(t *testing.T) {
 func traversalChecksum(tr *FlatTraversal) int64 {
 	var sum int64
 	for !tr.Done() {
-		for _, r := range tr.Ready {
+		for r := tr.ReadyFirst(); r >= 0; r = tr.ReadyNext(r) {
 			sum = sum*31 + int64(r)
 		}
 		for _, d := range tr.Descendants(10) {
 			sum = sum*37 + int64(d)
 		}
-		tr.Execute(int(tr.Ready[0]))
+		tr.Execute(int(tr.ReadyFirst()))
 	}
 	return sum
+}
+
+// TestFlatDAGFromPartsRoundTrip: reassembling a DAG from its shipped
+// CSR arrays (the distributed-worker path) must reproduce every
+// derived field — in-degrees, roots, qubit caches — and traverse
+// identically to the locally built original.
+func TestFlatDAGFromPartsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 8; trial++ {
+		c := randomDAGCircuit(fmt.Sprintf("parts-%d", trial), 3+rng.Intn(6), 10+rng.Intn(40), rng)
+		want := BuildFlatDAG(c)
+		got, err := FlatDAGFromParts(c, want.PredOff, want.Preds, want.SuccOff, want.Succs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < want.NumOps; i++ {
+			if got.InDeg[i] != want.InDeg[i] || got.Q0[i] != want.Q0[i] || got.Q1[i] != want.Q1[i] {
+				t.Fatalf("trial %d op %d: derived fields diverge", trial, i)
+			}
+		}
+		if fmt.Sprint(got.Roots) != fmt.Sprint(want.Roots) {
+			t.Fatalf("trial %d: roots %v, want %v", trial, got.Roots, want.Roots)
+		}
+		if traversalChecksum(got.NewFlatTraversal()) != traversalChecksum(want.NewFlatTraversal()) {
+			t.Fatalf("trial %d: reassembled DAG traverses differently", trial)
+		}
+	}
+}
+
+// TestFlatDAGFromPartsRejectsCorrupt: structurally inconsistent CSR
+// arrays must be rejected, not turned into a DAG that deadlocks or
+// indexes out of range.
+func TestFlatDAGFromPartsRejectsCorrupt(t *testing.T) {
+	c := New("corrupt", 3)
+	c.Add(gates.CX(), 0, 1)
+	c.Add(gates.CX(), 1, 2)
+	c.Add(gates.CX(), 0, 2)
+	d := BuildFlatDAG(c)
+	clone := func(v []int32) []int32 { return append([]int32(nil), v...) }
+	cases := []struct {
+		name    string
+		corrupt func(predOff, preds, succOff, succs []int32) ([]int32, []int32, []int32, []int32)
+	}{
+		{"short-offsets", func(po, p, so, s []int32) ([]int32, []int32, []int32, []int32) {
+			return po[:len(po)-1], p, so, s
+		}},
+		{"nonzero-start", func(po, p, so, s []int32) ([]int32, []int32, []int32, []int32) {
+			po[0] = 1
+			return po, p, so, s
+		}},
+		{"non-monotone", func(po, p, so, s []int32) ([]int32, []int32, []int32, []int32) {
+			so[1] = so[len(so)-1] + 1
+			return po, p, so, s
+		}},
+		{"edge-out-of-range", func(po, p, so, s []int32) ([]int32, []int32, []int32, []int32) {
+			s[0] = 99
+			return po, p, so, s
+		}},
+		{"edge-out-of-order", func(po, p, so, s []int32) ([]int32, []int32, []int32, []int32) {
+			p[0] = 2 // op 1's pred claims a later op
+			return po, p, so, s
+		}},
+		{"views-disagree", func(po, p, so, s []int32) ([]int32, []int32, []int32, []int32) {
+			s[0] = 2 // op0's first succ edge retargeted: succ counts no longer match pred counts
+			return po, p, so, s
+		}},
+	}
+	for _, tc := range cases {
+		po, p, so, s := tc.corrupt(clone(d.PredOff), clone(d.Preds), clone(d.SuccOff), clone(d.Succs))
+		if _, err := FlatDAGFromParts(c, po, p, so, s); err == nil {
+			t.Errorf("%s: corrupt arrays accepted", tc.name)
+		}
+	}
 }

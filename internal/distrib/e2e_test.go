@@ -218,6 +218,10 @@ func TestDistributedFindBestRoutingBitIdentical(t *testing.T) {
 	topo := topology.Grid(3, 3)
 	c := e2eCircuit("fbr", 7, 22, 11)
 	blocks := circuit.ConsolidateBlocks(circuit.UnrollTo2Q(c))
+	pc, err := sabre.PrepareCircuit(blocks, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, mir := range []bool{false, true} {
 		topts := transpile.Options{DepthSelection: mir, SkipTrivialLayout: true}
@@ -242,7 +246,7 @@ func TestDistributedFindBestRoutingBitIdentical(t *testing.T) {
 				for _, lease := range []int{1, 5} {
 					cl := startCluster(t, workers, 0, 0)
 					cl.TrialLease = lease
-					got, err := cl.FindBestRouting(blocks, topo, opts, spec, metric, factory)
+					got, err := cl.FindBestRouting(pc, opts, spec, metric, factory)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -336,6 +340,10 @@ func TestDistributedWorkerDeathBitIdentical(t *testing.T) {
 	topo := topology.Grid(3, 3)
 	c := e2eCircuit("death", 7, 20, 77)
 	blocks := circuit.ConsolidateBlocks(circuit.UnrollTo2Q(c))
+	pc, err := sabre.PrepareCircuit(blocks, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	topts := transpile.Options{Router: transpile.MIRAGE, DepthSelection: true, SkipTrivialLayout: true}
 	spec, err := SpecFromOptions(topts)
 	if err != nil {
@@ -355,7 +363,7 @@ func TestDistributedWorkerDeathBitIdentical(t *testing.T) {
 		// One healthy worker + one that dies on its second lease.
 		cl := startCluster(t, 1, 1, 2)
 		cl.TrialLease = 2
-		got, err := cl.FindBestRouting(blocks, topo, opts, spec, metric, factory)
+		got, err := cl.FindBestRouting(pc, opts, spec, metric, factory)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -413,11 +421,15 @@ func TestDistributedOverLoopbackTCP(t *testing.T) {
 	opts := sabre.LayoutOptions{LayoutTrials: 2, RoutingTrials: 3, FwdBwdPasses: 1, Seed: 13}
 	spec := PolicySpec{Mirage: true, DepthSelection: true}
 	metric, factory := spec.build(polytope.NewCostCache(0))
+	pc, err := sabre.PrepareCircuit(blocks, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want, err := sabre.FindBestRouting(blocks, topo, opts, metric, factory)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.FindBestRouting(blocks, topo, opts, spec, metric, factory)
+	got, err := cl.FindBestRouting(pc, opts, spec, metric, factory)
 	if err != nil {
 		t.Fatal(err)
 	}

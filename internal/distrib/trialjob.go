@@ -3,7 +3,6 @@ package distrib
 import (
 	"fmt"
 
-	"repro/internal/circuit"
 	"repro/internal/dispatch"
 	"repro/internal/polytope"
 	"repro/internal/sabre"
@@ -13,11 +12,13 @@ import (
 
 // trialSpec is the KindTrials job spec: everything a worker needs to
 // reproduce any trial of one FindBestRouting grid. Layouts are refined
-// once by the coordinator and shipped, so worker preparation is just
-// DAG construction.
+// once by the coordinator and shipped, and so is the flat dependency
+// DAG — the worker validates the shipped analysis instead of
+// recomputing it, so per-job preparation is decode-and-check only.
 type trialSpec struct {
 	Circuit wireCircuit
 	Topo    wireTopology
+	DAG     wireFlatDAG
 	Layouts [][]int
 	Opts    sabre.LayoutOptions
 	Policy  PolicySpec
@@ -55,7 +56,11 @@ func trialHandler(raw []byte) (dispatch.JobRunner, error) {
 	if len(layouts) < opts.LayoutTrials {
 		return nil, fmt.Errorf("distrib: trial spec ships %d layouts for %d layout trials", len(layouts), opts.LayoutTrials)
 	}
-	runner, err := sabre.NewTrialRunner(c, topo)
+	fd, err := flatDAGFromWire(spec.DAG, c)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sabre.NewTrialRunnerFromDAG(fd, topo)
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +97,10 @@ func (j *trialJob) Epilogue() []byte { return nil }
 // metric and factory must be the local equivalents of spec (the pair
 // transpile.Transpile would build); they are used for the local winner
 // replay. Callers normally go through Options, which guarantees the
-// pairing.
-func (cl *Cluster) FindBestRouting(c *circuit.Circuit, topo *topology.Topology,
+// pairing. The prepared circuit's DAGs are reused end to end: layout
+// refinement and the winner replay read them locally, and the forward
+// DAG ships inside the job spec so workers skip the rebuild.
+func (cl *Cluster) FindBestRouting(pc *sabre.PreparedCircuit,
 	opts sabre.LayoutOptions, spec PolicySpec,
 	metric sabre.Metric, factory sabre.PolicyFactory) (*sabre.Result, error) {
 
@@ -101,13 +108,14 @@ func (cl *Cluster) FindBestRouting(c *circuit.Circuit, topo *topology.Topology,
 	if metric == nil {
 		metric = sabre.SwapCountMetric
 	}
-	layouts, err := sabre.RefineLayouts(c, topo, opts)
+	layouts, err := sabre.RefineLayoutsPrepared(pc, opts)
 	if err != nil {
 		return nil, err
 	}
 	raw, err := encodeSpec(trialSpec{
-		Circuit: circuitToWire(c),
-		Topo:    topologyToWire(topo),
+		Circuit: circuitToWire(pc.Circ),
+		Topo:    topologyToWire(pc.Topo),
+		DAG:     flatDAGToWire(pc.FD),
 		Layouts: layoutsToWire(layouts),
 		Opts:    opts,
 		Policy:  spec,
@@ -129,11 +137,7 @@ func (cl *Cluster) FindBestRouting(c *circuit.Circuit, topo *topology.Topology,
 	if factory != nil {
 		policy = factory(bestT)
 	}
-	runner, err := sabre.NewTrialRunner(c, topo)
-	if err != nil {
-		return nil, err
-	}
-	best, err := runner.GridTrial(layouts, opts, bestT, policy)
+	best, err := sabre.NewTrialRunnerPrepared(pc).GridTrial(layouts, opts, bestT, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -154,9 +158,9 @@ func (cl *Cluster) Options(opts transpile.Options) (transpile.Options, error) {
 	if err != nil {
 		return transpile.Options{}, err
 	}
-	opts.RouteFn = func(c *circuit.Circuit, topo *topology.Topology, lopts sabre.LayoutOptions,
+	opts.RouteFn = func(pc *sabre.PreparedCircuit, lopts sabre.LayoutOptions,
 		metric sabre.Metric, factory sabre.PolicyFactory) (*sabre.Result, error) {
-		return cl.FindBestRouting(c, topo, lopts, spec, metric, factory)
+		return cl.FindBestRouting(pc, lopts, spec, metric, factory)
 	}
 	return opts, nil
 }

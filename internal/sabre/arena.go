@@ -16,6 +16,12 @@ import (
 // convention, so one instance serves every trial.
 var routerSwapGate = gates.SWAP()
 
+// routerSwapMatrix is the shared SWAP unitary used to materialise
+// mirror gates (SWAP · U). Matrices are immutable by the same
+// convention, so the mirrored path multiplies against this single
+// instance instead of building a fresh SWAP matrix per substitution.
+var routerSwapMatrix = routerSwapGate.Matrix()
+
 // trialArena owns every mutable buffer one routing trial needs: the
 // engine state (routingState — traversal, layout, decay, pair caches,
 // candidate dedup stamps, score scratch), the reusable routed-op
@@ -127,25 +133,54 @@ func (a *trialArena) route(fd *circuit.FlatDAG, topo *topology.Topology, initial
 	a.ctx.Topo = topo
 	a.ctx.Layout = &st.layout
 
+	// Execute/stall loop, worklist form. The naive formulation (kept in
+	// RouteReference) rescans a snapshot of the whole ready set per pass
+	// until a pass makes no progress: O(|ready|) re-examinations per
+	// executed gate, almost all of them no-ops. The worklist carries
+	// only the ops whose executability can actually have changed:
+	//
+	//   - wlCur is the current pass; executing an op appends its newly
+	//     ready successors (tr.LastReady, fed by in-degree decrements on
+	//     the shared FlatDAG) to wlNext — the next pass, exactly the
+	//     snapshot boundary the reference's per-pass ready copy imposes.
+	//     Ready-list insertion order is seq order, so the pass order
+	//     matches the reference snapshot order op for op.
+	//   - A deferred (ready but uncoupled) gate is simply left in the
+	//     ready set. Re-examining it is pure — no RNG, no policy call,
+	//     no emission — so skipping the re-scan cannot diverge; it only
+	//     needs re-queueing when a committed swap moves its endpoints.
+	//   - A mirror swap exchanges the executing gate's own endpoints,
+	//     and at most one ready op occupies any wire, so no *other*
+	//     ready gate touches the swapped qubits: mid-pass mirrors only
+	//     affect the gate's own successors, which arrive via LastReady.
+	//   - A stall swap on (a, b) can change executability only for the
+	//     (<= 2) deferred gates with a wire on a or b, found in O(1)
+	//     through the per-wire ready index and seeded (in ready order)
+	//     as the next pass.
+	//
+	// Net effect: each op is examined once when it becomes ready plus
+	// once per committed swap touching it — the reference's execution
+	// schedule, minus the redundant re-examinations it proves are no-ops.
+	st.wlCur = st.tr.AppendReady(st.wlCur[:0])
 	steps := 0
-	for !st.tr.Done() {
-		// Execute everything currently executable.
-		progress := true
-		for progress {
-			progress = false
-			st.readySnap = append(st.readySnap[:0], st.tr.Ready...)
-			for _, idx32 := range st.readySnap {
+	for {
+		for len(st.wlCur) > 0 {
+			st.wlNext = st.wlNext[:0]
+			for _, idx32 := range st.wlCur {
+				if !st.tr.Pending(idx32) {
+					continue // stale queue entry (already executed)
+				}
 				idx := int(idx32)
 				op := c.Ops[idx]
 				switch len(op.Qubits) {
 				case 1:
 					a.emit1(op.Gate, st.layout.Phys(op.Qubits[0]))
 					st.execute(idx)
-					progress = true
+					st.wlNext = append(st.wlNext, st.tr.LastReady...)
 				case 2:
 					pa, pb := st.layout.Phys(op.Qubits[0]), st.layout.Phys(op.Qubits[1])
 					if !topo.HasEdge(pa, pb) {
-						continue
+						continue // deferred: stays in the ready set until a swap moves it
 					}
 					mirrored := false
 					if policy != nil {
@@ -157,7 +192,7 @@ func (a *trialArena) route(fd *circuit.FlatDAG, topo *topology.Topology, initial
 					}
 					g, coord := op.Gate, op.Coord
 					if mirrored {
-						m := gates.SWAP().Matrix().Mul(op.Gate.Matrix())
+						m := routerSwapMatrix.Mul(op.Gate.Matrix())
 						g = gates.NewCustom(op.Gate.Name+"'", 2, m)
 						coord = nil // stale: the mirror has a new coordinate
 						a.res.MirrorsUsed++
@@ -168,10 +203,11 @@ func (a *trialArena) route(fd *circuit.FlatDAG, topo *topology.Topology, initial
 						st.applyMirrorSwap(pa, pb)
 					}
 					st.execute(idx)
+					st.wlNext = append(st.wlNext, st.tr.LastReady...)
 					st.resetDecay()
-					progress = true
 				}
 			}
+			st.wlCur, st.wlNext = st.wlNext, st.wlCur
 		}
 		if st.tr.Done() {
 			break
@@ -199,6 +235,24 @@ func (a *trialArena) route(fd *circuit.FlatDAG, topo *topology.Topology, initial
 		chosen := candidates[bestIdx]
 		a.emit2(routerSwapGate, chosen.a, chosen.b, nil, false, true)
 		st.applySwap(chosen.a, chosen.b)
+		// Seed the next execute phase with the deferred gates the swap
+		// touched — the only ready ops whose executability can have
+		// changed — in ready-list order (the order the reference's full
+		// rescan would reach them in).
+		st.wlCur = st.wlCur[:0]
+		o1, o2 := st.readyGateAt(chosen.a), st.readyGateAt(chosen.b)
+		if o2 == o1 {
+			o2 = -1 // same gate on both swapped qubits
+		}
+		if o1 >= 0 && o2 >= 0 && st.tr.ReadySeq(o2) < st.tr.ReadySeq(o1) {
+			o1, o2 = o2, o1
+		}
+		if o1 >= 0 {
+			st.wlCur = append(st.wlCur, o1)
+		}
+		if o2 >= 0 {
+			st.wlCur = append(st.wlCur, o2)
+		}
 		a.res.SwapsInserted++
 		st.decay[chosen.a] += opts.DecayRate
 		st.decay[chosen.b] += opts.DecayRate
@@ -280,6 +334,20 @@ func NewTrialRunner(c *circuit.Circuit, topo *topology.Topology) (*TrialRunner, 
 // FindBestRouting fan-out path, where every worker reads one DAG).
 func newTrialRunnerForDAG(fd *circuit.FlatDAG, topo *topology.Topology) *TrialRunner {
 	return &TrialRunner{fd: fd, topo: topo, arena: newTrialArena()}
+}
+
+// NewTrialRunnerFromDAG builds a runner over a FlatDAG that arrived
+// from elsewhere — the distributed worker path, where the coordinator
+// ships the DAG inside the job spec (reconstructed by
+// circuit.FlatDAGFromParts) so the worker skips the per-circuit
+// analysis. The DAG's circuit is still validated against topo; the
+// DAG structure itself is trusted, having passed FlatDAGFromParts'
+// consistency checks.
+func NewTrialRunnerFromDAG(fd *circuit.FlatDAG, topo *topology.Topology) (*TrialRunner, error) {
+	if err := validateRoutable(fd.Circ, topo); err != nil {
+		return nil, err
+	}
+	return newTrialRunnerForDAG(fd, topo), nil
 }
 
 // Run executes one routing trial from the given initial layout with a

@@ -64,28 +64,43 @@ func BenchmarkFindBestRouting(b *testing.B) {
 // trial engine — the DAG is shared and immutable, every mutable buffer
 // lives in the reused arena, so allocs/op must stay O(1) regardless of
 // circuit size (compare against BenchmarkRouteWide/engine, which pays
-// DAG construction and state allocation per call).
+// DAG construction and state allocation per call). The grid4x4 case is
+// the trial-grid regime (small device, many trials); wide is the
+// single-trial latency case the worklist scheduler and flat distance
+// tables target — a 64-qubit grid whose large front layer makes
+// per-stall rescans the dominant cost.
 func BenchmarkRouteArena(b *testing.B) {
-	topo := topology.Grid(4, 4)
-	c := benchCircuit(16, 60)
-	layout := RandomLayout(16, topo, rand.New(rand.NewSource(7)))
-	runner, err := NewTrialRunner(c, topo)
-	if err != nil {
-		b.Fatal(err)
-	}
-	// One throwaway trial grows every arena buffer to its high-water
-	// mark so the timed loop sees the steady state.
-	if _, err := runner.Run(layout, Options{}, 1, nil); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := runner.Run(layout, Options{}, int64(i%16)+1, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.SwapsInserted), "swaps")
+	for _, tc := range []struct {
+		name          string
+		rows, cols    int
+		qubits, gates int
+	}{
+		{"grid4x4", 4, 4, 16, 60},
+		{"wide", 8, 8, 64, 400},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			topo := topology.Grid(tc.rows, tc.cols)
+			c := benchCircuit(tc.qubits, tc.gates)
+			layout := RandomLayout(tc.qubits, topo, rand.New(rand.NewSource(7)))
+			runner, err := NewTrialRunner(c, topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One throwaway trial grows every arena buffer to its
+			// high-water mark so the timed loop sees the steady state.
+			if _, err := runner.Run(layout, Options{}, 1, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := runner.Run(layout, Options{}, int64(i%16)+1, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.SwapsInserted), "swaps")
+			}
+		})
 	}
 }
 

@@ -57,7 +57,7 @@ func RouteReference(c *circuit.Circuit, topo *topology.Topology, initial *topolo
 	// where the delta must be commensurable with decomposition costs).
 	routingCost := func(skip int, averaged bool) func(*topology.Layout) float64 {
 		var front [][2]int
-		for _, idx := range tr.Ready {
+		for _, idx := range tr.AppendReady(nil) {
 			if int(idx) == skip {
 				continue
 			}
@@ -117,7 +117,7 @@ func RouteReference(c *circuit.Circuit, topo *topology.Topology, initial *topolo
 		progress := true
 		for progress {
 			progress = false
-			ready := append([]int32(nil), tr.Ready...)
+			ready := tr.AppendReady(nil)
 			for _, idx32 := range ready {
 				idx := int(idx32)
 				op := c.Ops[idx]
@@ -170,7 +170,7 @@ func RouteReference(c *circuit.Circuit, topo *topology.Topology, initial *topolo
 		type cand struct{ a, b int }
 		seen := map[cand]bool{}
 		var candidates []cand
-		for _, idx := range tr.Ready {
+		for _, idx := range tr.AppendReady(nil) {
 			op := c.Ops[idx]
 			if !op.Is2Q() {
 				continue

@@ -30,11 +30,9 @@
 package sabre
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/circuit"
-	"repro/internal/dispatch"
 	"repro/internal/pool"
 	"repro/internal/topology"
 )
@@ -230,77 +228,28 @@ type PolicyFactory func(trial int) MirrorPolicy
 // trials break toward the lowest trial index, so the chosen result is
 // bit-identical at any worker count: it is exactly the trial a serial
 // loop would have selected.
+// Wave 2 — the routing grid — runs on the dispatch work queue. Trial
+// t = lt*RoutingTrials + rt routes from layouts[lt]; scoring happens
+// inside the worker so that expensive metrics (polytope-weighted
+// depth) parallelise too. The queue consumes (index, score) pairs in
+// strict trial-index order, so the TrialSelector — the online argmin
+// plus convergence stop rule — sees exactly the sequence a serial
+// loop would: the winner and, in adaptive mode, the number of trials
+// consumed are independent of goroutine scheduling. Only scores cross
+// the worker boundary; routed circuits stay in the arenas. The
+// distributed coordinator (internal/distrib) drives the same
+// queue/selector pair over TCP workers, so there is one scheduler
+// code path at any scale. See prepared.go (runTrialGrid) for the
+// implementation; callers routing one circuit repeatedly should
+// PrepareCircuit once and use FindBestRoutingPrepared.
 func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOptions,
 	metric Metric, factory PolicyFactory) (*Result, error) {
 
-	opts = opts.WithDefaults()
-	if metric == nil {
-		metric = SwapCountMetric
-	}
-	if err := validateRoutable(c, topo); err != nil {
-		return nil, err
-	}
-	if !topo.IsConnected() && c.Count2Q() > 0 {
-		return nil, fmt.Errorf("sabre: topology %s is disconnected", topo.Name)
-	}
-	fd := circuit.BuildFlatDAG(c)
-	rev := c.Reversed()
-	fdRev := circuit.BuildFlatDAG(rev)
-
-	layouts, err := refineLayouts(fd, fdRev, c, topo, opts)
+	pc, err := PrepareCircuit(c, topo)
 	if err != nil {
 		return nil, err
 	}
-
-	// Wave 2: the routing grid on the dispatch work queue. Trial t =
-	// lt*RoutingTrials + rt routes from layouts[lt]; scoring happens
-	// inside the worker so that expensive metrics (polytope-weighted
-	// depth) parallelise too. The queue consumes (index, score) pairs
-	// in strict trial-index order, so the TrialSelector — the online
-	// argmin plus convergence stop rule — sees exactly the sequence a
-	// serial loop would: the winner and, in adaptive mode, the number
-	// of trials consumed are independent of goroutine scheduling. Only
-	// scores cross the worker boundary; routed circuits stay in the
-	// arenas. The distributed coordinator (internal/distrib) drives
-	// the same queue/selector pair over TCP workers, so there is one
-	// scheduler code path at any scale.
-	n := opts.LayoutTrials * opts.RoutingTrials
-	sel := NewTrialSelector(opts.ConvergencePatience)
-	q := dispatch.NewQueue(n, 1, sel.Consume)
-	err = dispatch.RunLocal(q, opts.Parallelism,
-		func(int) *TrialRunner { return newTrialRunnerForDAG(fd, topo) },
-		func(t int, r *TrialRunner) (float64, error) {
-			var policy MirrorPolicy
-			if factory != nil {
-				policy = factory(t)
-			}
-			res, err := r.GridTrial(layouts, opts, t, policy)
-			if err != nil {
-				return 0, err
-			}
-			return metric(res), nil
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	// Materialise the winner: replay the best trial on a transient
-	// runner whose arena buffers the Result can own. Trials are
-	// deterministic in (Seed, index), so this reproduces the scored
-	// run bit for bit at the cost of one extra route — noise against
-	// the trial grid.
-	bestT, _ := sel.Best()
-	var policy MirrorPolicy
-	if factory != nil {
-		policy = factory(bestT)
-	}
-	best, err := newTrialRunnerForDAG(fd, topo).GridTrial(layouts, opts, bestT, policy)
-	if err != nil {
-		return nil, err
-	}
-	best.TrialsExecuted = sel.Executed()
-	best.TrialsBudgeted = n
-	return best, nil
+	return FindBestRoutingPrepared(pc, opts, metric, factory)
 }
 
 // RefineLayouts runs the layout wave of the SABRE flow on its own: one
@@ -312,17 +261,11 @@ func FindBestRouting(c *circuit.Circuit, topo *topology.Topology, opts LayoutOpt
 // Layout lt is deterministic in (opts.Seed, lt) and independent of
 // Parallelism.
 func RefineLayouts(c *circuit.Circuit, topo *topology.Topology, opts LayoutOptions) ([]*topology.Layout, error) {
-	opts = opts.WithDefaults()
-	if err := validateRoutable(c, topo); err != nil {
+	pc, err := PrepareCircuit(c, topo)
+	if err != nil {
 		return nil, err
 	}
-	if !topo.IsConnected() && c.Count2Q() > 0 {
-		return nil, fmt.Errorf("sabre: topology %s is disconnected", topo.Name)
-	}
-	fd := circuit.BuildFlatDAG(c)
-	rev := c.Reversed()
-	fdRev := circuit.BuildFlatDAG(rev)
-	return refineLayouts(fd, fdRev, c, topo, opts)
+	return RefineLayoutsPrepared(pc, opts)
 }
 
 // refineLayouts is wave 1 over prebuilt forward/reverse DAGs: route

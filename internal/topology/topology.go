@@ -10,17 +10,30 @@ import (
 	"sort"
 )
 
+// MaxQubits bounds the device size: distances are stored in a flat
+// row-major int16 table (see Distance), so the hop count — at most
+// NumQubits-1 on a connected graph — must fit in an int16.
+const MaxQubits = 32767
+
 // Topology is an undirected coupling graph over physical qubits.
 type Topology struct {
 	Name      string
 	NumQubits int
 	adj       [][]int
 	edgeSet   map[[2]int]bool
-	dist      [][]int
+	// dist is the flat row-major all-pairs BFS distance table:
+	// dist[a*NumQubits+b] is the hop distance from a to b (-1 when
+	// disconnected). int16 keeps a row of the table inside one or two
+	// cache lines for realistic devices — the routing hot loop indexes
+	// it on every delta-score lookup — and bounds devices at MaxQubits.
+	dist []int16
 }
 
 // New builds a topology from an edge list.
 func New(name string, numQubits int, edges [][2]int) *Topology {
+	if numQubits > MaxQubits {
+		panic(fmt.Sprintf("topology: %d qubits exceeds the int16 distance-table bound of %d", numQubits, MaxQubits))
+	}
 	t := &Topology{
 		Name:      name,
 		NumQubits: numQubits,
@@ -52,17 +65,17 @@ func New(name string, numQubits int, edges [][2]int) *Topology {
 
 func (t *Topology) computeDistances() {
 	n := t.NumQubits
-	t.dist = make([][]int, n)
+	t.dist = make([]int16, n*n)
+	queue := make([]int, 0, n)
 	for s := 0; s < n; s++ {
-		d := make([]int, n)
+		d := t.dist[s*n : (s+1)*n]
 		for i := range d {
 			d[i] = -1
 		}
 		d[s] = 0
-		queue := []int{s}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
 			for _, nb := range t.adj[cur] {
 				if d[nb] < 0 {
 					d[nb] = d[cur] + 1
@@ -70,19 +83,17 @@ func (t *Topology) computeDistances() {
 				}
 			}
 		}
-		t.dist[s] = d
 	}
 }
 
 // Neighbors returns the sorted adjacency list of q.
 func (t *Topology) Neighbors(q int) []int { return t.adj[q] }
 
-// HasEdge reports whether (a, b) is a coupled pair.
+// HasEdge reports whether (a, b) is a coupled pair. Adjacency is
+// exactly distance 1, so this is a flat-table load — no map hashing on
+// the routing hot path, which probes every executable 2Q gate here.
 func (t *Topology) HasEdge(a, b int) bool {
-	if a > b {
-		a, b = b, a
-	}
-	return t.edgeSet[[2]int{a, b}]
+	return t.dist[a*t.NumQubits+b] == 1
 }
 
 // Edges returns all edges as canonical (lo, hi) pairs, sorted.
@@ -102,11 +113,18 @@ func (t *Topology) Edges() [][2]int {
 
 // Distance returns the BFS hop distance between physical qubits, or -1
 // when disconnected.
-func (t *Topology) Distance(a, b int) int { return t.dist[a][b] }
+func (t *Topology) Distance(a, b int) int { return int(t.dist[a*t.NumQubits+b]) }
+
+// DistanceTable exposes the flat row-major int16 distance table:
+// entry a*NumQubits+b is Distance(a, b). The returned slice is the
+// topology's own immutable backing array — callers must treat it as
+// read-only. The routing engine indexes it directly so delta scoring
+// is a single array load with no slice-of-slice indirection.
+func (t *Topology) DistanceTable() []int16 { return t.dist }
 
 // IsConnected reports whether the coupling graph is connected.
 func (t *Topology) IsConnected() bool {
-	for _, d := range t.dist[0] {
+	for _, d := range t.dist[:t.NumQubits] {
 		if d < 0 {
 			return false
 		}

@@ -81,14 +81,16 @@ type Options struct {
 	// gives each transpilation its own cache.
 	Cache *polytope.CostCache
 	// RouteFn overrides the routing engine for step 4 of the pipeline;
-	// nil uses sabre.FindBestRouting in-process. This is the seam the
-	// distributed dispatcher (internal/distrib) plugs into: its RouteFn
-	// fans the trial grid out to remote workers and — because the trial
-	// queue consumes scores in trial-index order and the winner is
-	// replayed locally — returns a Result bit-identical to the local
-	// engine's. Implementations receive the post-override LayoutOptions
-	// and the exact metric/factory a local run would use.
-	RouteFn func(c *circuit.Circuit, topo *topology.Topology, opts sabre.LayoutOptions,
+	// nil uses sabre.FindBestRoutingPrepared in-process. This is the
+	// seam the distributed dispatcher (internal/distrib) plugs into: its
+	// RouteFn fans the trial grid out to remote workers and — because
+	// the trial queue consumes scores in trial-index order and the
+	// winner is replayed locally — returns a Result bit-identical to the
+	// local engine's. Implementations receive the shared per-circuit
+	// routing analysis (validated circuit plus prebuilt dependency
+	// DAGs), the post-override LayoutOptions and the exact
+	// metric/factory a local run would use.
+	RouteFn func(pc *sabre.PreparedCircuit, opts sabre.LayoutOptions,
 		metric sabre.Metric, factory sabre.PolicyFactory) (*sabre.Result, error)
 }
 
@@ -128,9 +130,69 @@ type Report struct {
 	Runtime        time.Duration
 }
 
+// PreparedCircuit is the amortised per-circuit front half of the
+// pipeline: input cleaning, 2Q block consolidation (with Weyl
+// coordinate annotation on every block) and the shared routing
+// analysis (validated circuit/topology pairing plus the forward and
+// reversed dependency DAGs every routing trial reads). Prepare once,
+// then call TranspilePrepared for each configuration — a benchmark row
+// running SABRE and MIRAGE over the same circuit, or a sweep over
+// aggression levels, pays for the analysis once instead of per run.
+//
+// Like sabre.PreparedCircuit, a PreparedCircuit is immutable after
+// PrepareCircuit returns and safe to share across goroutines.
+type PreparedCircuit struct {
+	Source *circuit.Circuit
+	Topo   *topology.Topology
+	// Clean is the source after 3Q unrolling, identity removal and SWAP
+	// elision; Blocks is Clean consolidated into coordinate-annotated
+	// 2Q blocks — the circuit the router actually routes.
+	Clean  *circuit.Circuit
+	Blocks *circuit.Circuit
+	// Routing is the shared routing analysis over Blocks, or nil when
+	// the pairing cannot route (see routingErr). It is nil-checked only
+	// on the routed path: a circuit whose interaction graph embeds
+	// trivially never needs it, so preparation failures are deferred
+	// until routing is actually required.
+	Routing    *sabre.PreparedCircuit
+	routingErr error
+}
+
+// PrepareCircuit runs the per-circuit half of the pipeline (cleaning,
+// consolidation, routing analysis) for reuse across TranspilePrepared
+// calls. Routing-validation failures (too many qubits, disconnected
+// topology) are captured, not returned: they only matter if a
+// subsequent TranspilePrepared call actually needs to route, and the
+// trivial-layout path must keep working without a routable pairing.
+func PrepareCircuit(c *circuit.Circuit, topo *topology.Topology) *PreparedCircuit {
+	// 1. Input cleaning.
+	clean := circuit.UnrollTo2Q(c)
+	clean = circuit.RemoveIdentities(clean)
+	clean, _ = circuit.ElideSwaps(clean)
+
+	// 2. Consolidate to coordinate-annotated 2Q blocks.
+	blocks := circuit.ConsolidateBlocks(clean)
+
+	pc := &PreparedCircuit{Source: c, Topo: topo, Clean: clean, Blocks: blocks}
+	pc.Routing, pc.routingErr = sabre.PrepareCircuit(blocks, topo)
+	return pc
+}
+
 // Transpile runs the full pipeline.
 func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Report, error) {
 	start := time.Now()
+	return transpilePrepared(PrepareCircuit(c, topo), opts, start)
+}
+
+// TranspilePrepared runs the configuration half of the pipeline
+// (trivial-layout check, routing, metric extraction) over a shared
+// PreparedCircuit. Report.Runtime covers only this half; the amortised
+// preparation cost is the caller's.
+func TranspilePrepared(pc *PreparedCircuit, opts Options) (*Report, error) {
+	return transpilePrepared(pc, opts, time.Now())
+}
+
+func transpilePrepared(pc *PreparedCircuit, opts Options, start time.Time) (*Report, error) {
 	if opts.Basis == nil {
 		opts.Basis = polytope.NewISwapRootCoverage(2)
 	}
@@ -145,16 +207,8 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 		opts.Layout.Routing.ScoreWorkers = opts.ScoreWorkers
 	}
 
-	// 1. Input cleaning.
-	clean := circuit.UnrollTo2Q(c)
-	clean = circuit.RemoveIdentities(clean)
-	clean, _ = circuit.ElideSwaps(clean)
-
-	// 2. Consolidate to coordinate-annotated 2Q blocks.
-	blocks := circuit.ConsolidateBlocks(clean)
-
 	rep := &Report{
-		Name:   c.Name,
+		Name:   pc.Source.Name,
 		Router: opts.Router.String(),
 	}
 
@@ -162,7 +216,7 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 	// topology, no routing is needed and SABRE/MIRAGE are not invoked
 	// (both transpilers behave identically here, paper Section V).
 	if !opts.SkipTrivialLayout {
-		if routed, layout, ok := tryTrivialLayout(blocks, topo); ok {
+		if routed, layout, ok := tryTrivialLayout(pc.Blocks, pc.Topo); ok {
 			rep.Routed = routed
 			rep.InitialLayout = layout
 			rep.FinalLayout = layout.Copy()
@@ -173,7 +227,11 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 		}
 	}
 
-	// 4. Routed path.
+	// 4. Routed path. Only here does a failed routing preparation
+	// surface: circuits that embedded trivially above never hit it.
+	if pc.routingErr != nil {
+		return nil, fmt.Errorf("transpile: %w", pc.routingErr)
+	}
 	metric := sabre.SwapCountMetric
 	if opts.DepthSelection {
 		metric = mirage.DepthMetricWithCache(opts.Basis, opts.Cache)
@@ -186,11 +244,11 @@ func Transpile(c *circuit.Circuit, topo *topology.Topology, opts Options) (*Repo
 			factory = mirage.PolicyFactoryWithCache(opts.Basis, mirage.DefaultMix, opts.Cache)
 		}
 	}
-	route := sabre.FindBestRouting
+	route := sabre.FindBestRoutingPrepared
 	if opts.RouteFn != nil {
 		route = opts.RouteFn
 	}
-	res, err := route(blocks, topo, opts.Layout, metric, factory)
+	res, err := route(pc.Routing, opts.Layout, metric, factory)
 	if err != nil {
 		return nil, fmt.Errorf("transpile: %w", err)
 	}

@@ -188,6 +188,26 @@ func TranspileBatch(circuits []*Circuit, topo *Topology, opts Options) ([]*Repor
 	return transpile.TranspileBatch(circuits, topo, opts)
 }
 
+// PreparedCircuit is the amortised per-circuit front half of the
+// pipeline: cleaning, 2Q block consolidation with Weyl coordinate
+// annotation, and the shared routing analysis (prebuilt dependency
+// DAGs). Immutable and safe to share across goroutines.
+type PreparedCircuit = transpile.PreparedCircuit
+
+// PrepareCircuit runs the per-circuit analysis once; pass the result
+// to TranspilePrepared any number of times (different routers,
+// aggression levels, selection metrics) without repaying it.
+func PrepareCircuit(c *Circuit, topo *Topology) *PreparedCircuit {
+	return transpile.PrepareCircuit(c, topo)
+}
+
+// TranspilePrepared is Transpile over a shared PreparedCircuit: only
+// the configuration half (trivial-layout check, routing, metrics)
+// runs per call.
+func TranspilePrepared(pc *PreparedCircuit, opts Options) (*Report, error) {
+	return transpile.TranspilePrepared(pc, opts)
+}
+
 // CostCache is the sharded LRU cache from quantised Weyl coordinates
 // to decomposition costs (paper Section VI-C); pass one via
 // Options.Cache to keep it warm across Transpile/TranspileBatch calls.
