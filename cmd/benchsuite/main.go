@@ -70,6 +70,22 @@ func (rc *runConfig) options(router transpile.Router, depth bool, fixed *mirage.
 	return opts
 }
 
+// fleetStats snapshots the hub's failure-event counters for the JSON
+// document; nil on serial runs so the schema is unchanged for them.
+func (rc *runConfig) fleetStats() *bench.FleetEventStats {
+	if rc.cluster == nil {
+		return nil
+	}
+	s := rc.cluster.Hub.Stats()
+	return &bench.FleetEventStats{
+		Releases:     s.Releases,
+		Revocations:  s.Revocations,
+		Disconnects:  s.Disconnects,
+		Reconnects:   s.Reconnects,
+		DecodeFaults: s.DecodeFaults,
+	}
+}
+
 func main() {
 	var (
 		fig       = flag.String("fig", "12", "experiment: 10 | 11 | 12 | table3 | mirror")
@@ -91,6 +107,10 @@ func main() {
 		listen    = flag.String("listen", "", "coordinator address for distributed trials (e.g. 127.0.0.1:7117); workers join with `miraged worker -connect`")
 		workers   = flag.Int("workers", 0, "remote workers to wait for before starting (requires -listen)")
 		lease     = flag.Int("lease", 0, "routing trials per work-queue lease in distributed mode (0 = default)")
+		hbTimeout = flag.Duration("hb-timeout", 0, "distributed: revoke a lease after this long without a heartbeat or results (0 = 30s default, negative = disable)")
+		leaseTo   = flag.Duration("lease-timeout", 0, "distributed: revoke a lease after this long without item progress (0 = off)")
+		jobDeadl  = flag.Duration("job-deadline", 0, "distributed: fail a job outright after this long, listing outstanding leases (0 = off)")
+		rejoin    = flag.Duration("rejoin-grace", 0, "distributed: keep a job alive this long with zero workers connected (0 = off)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (pprof format)")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	)
@@ -178,6 +198,10 @@ func main() {
 
 	if *listen != "" {
 		hub := dispatch.NewHub()
+		hub.HeartbeatTimeout = *hbTimeout
+		hub.LeaseTimeout = *leaseTo
+		hub.JobDeadline = *jobDeadl
+		hub.RejoinGrace = *rejoin
 		addr, err := hub.Listen(*listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "listening on %s: %v\n", *listen, err)
@@ -531,6 +555,7 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 				Misses:        misses,
 				HitRate:       rc.cache.HitRate(),
 			},
+			Fleet:   rc.fleetStats(),
 			Rows:    rows,
 			Kernels: kernelRows,
 		}
@@ -613,7 +638,8 @@ func runMirror(rc *runConfig, topo *topology.Topology, quick bool, jsonPath stri
 				Misses:        misses,
 				HitRate:       rc.cache.HitRate(),
 			},
-			Rows: rows,
+			Fleet: rc.fleetStats(),
+			Rows:  rows,
 		}
 		if err := f.WriteFile(jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)

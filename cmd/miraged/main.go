@@ -15,15 +15,27 @@
 // same coordinator role via its -listen/-workers flags, so a serial
 // `benchsuite -fig 12` and a `benchsuite -listen ... -fig 12` with
 // miraged workers write row-identical BENCH_routing.json files (wall
-// times and cache traffic excepted); CI's loopback smoke lane asserts
-// exactly that.
+// times, cache traffic and fleet counters excepted); CI's loopback
+// smoke and chaos lanes assert exactly that.
+//
+// Workers reconnect with capped exponential backoff (-retry, -backoff,
+// -backoff-max), heartbeat while computing (-heartbeat), and drain
+// gracefully: SIGTERM/SIGINT — or an elapsed -drain duration — make
+// the worker hand back its current lease (finished items included) and
+// exit cleanly instead of dying mid-lease. The -chaos-* flags inject
+// seeded faults (crash, silent stall, corrupt frame, partial write,
+// slow items) for exercising the coordinator's recovery paths; see the
+// CI chaos lane for the reference invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -40,78 +52,141 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	var err error
 	switch os.Args[1] {
 	case "worker":
-		runWorker(os.Args[2:])
+		err = runWorker(os.Args[2:], nil)
 	case "coordinator":
-		runCoordinator(os.Args[2:])
+		err = runCoordinator(os.Args[2:])
 	default:
 		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miraged:", err)
+		os.Exit(1)
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  miraged worker -connect HOST:PORT [-retry N] [-chaos-fail-after N]
+  miraged worker -connect HOST:PORT [-retry N] [-backoff D] [-backoff-max D]
+                 [-heartbeat D] [-item-timeout D] [-drain D]
+                 [-chaos-fail-after N] [-chaos-seed N] [-chaos-crash-lease N]
+                 [-chaos-stall-lease N] [-chaos-stall-for D]
+                 [-chaos-corrupt-lease N] [-chaos-partial-lease N] [-chaos-slow D]
   miraged coordinator -listen ADDR -workers N [-topology square|heavyhex]
                       [-quick] [-trials N] [-seed N] [-patience N]
-                      [-lease N] [-json PATH]`)
+                      [-lease N] [-json PATH] [-hb-timeout D] [-lease-timeout D]
+                      [-job-deadline D] [-rejoin-grace D]`)
 	os.Exit(2)
 }
 
-// runWorker dials the coordinator and serves jobs until the
-// connection closes. -retry reconnects after clean closes, so a
-// long-lived worker survives sequential coordinator processes.
-func runWorker(args []string) {
+// runWorker dials the coordinator and serves jobs until the connection
+// closes, reconnecting with capped exponential backoff while -retry
+// attempts remain. SIGTERM/SIGINT (or the optional extraDrain channel,
+// used by tests, or an elapsed -drain duration) triggers a graceful
+// drain: the worker returns its current lease to the coordinator —
+// finished items included, so no work is recomputed — and exits 0.
+func runWorker(args []string, extraDrain <-chan struct{}) error {
 	fs := flag.NewFlagSet("miraged worker", flag.ExitOnError)
 	var (
-		connect   = fs.String("connect", "", "coordinator address (required)")
-		retry     = fs.Int("retry", 0, "reconnect attempts after the coordinator goes away (0 = exit on first close)")
-		chaosFail = fs.Int("chaos-fail-after", 0, "fault injection: sever the connection on the Nth lease (0 = off; exercises the coordinator's re-lease path)")
+		connect     = fs.String("connect", "", "coordinator address (required)")
+		retry       = fs.Int("retry", 0, "reconnect attempts after the coordinator goes away (0 = exit on first close)")
+		backoff     = fs.Duration("backoff", time.Second, "initial reconnect backoff (doubles per consecutive failure, jittered)")
+		backoffMax  = fs.Duration("backoff-max", 30*time.Second, "reconnect backoff cap")
+		heartbeat   = fs.Duration("heartbeat", 0, "heartbeat interval while holding a lease (0 = 1s default, negative = disable)")
+		itemTimeout = fs.Duration("item-timeout", 0, "per-work-item wall clock limit; on overrun the finished prefix is reported and the connection severed (0 = off)")
+		drainAfter  = fs.Duration("drain", 0, "begin a graceful drain after this long (0 = drain only on SIGTERM/SIGINT)")
+
+		chaosFail    = fs.Int("chaos-fail-after", 0, "fault injection: sever the connection on the Nth lease (0 = off; exercises the coordinator's re-lease path)")
+		chaosSeed    = fs.Int64("chaos-seed", 0, "fault injection: seed for deterministic fault content")
+		chaosCrash   = fs.Int("chaos-crash-lease", 0, "fault injection: crash (close the connection) on the Nth lease of this process (0 = off)")
+		chaosStall   = fs.Int("chaos-stall-lease", 0, "fault injection: go silent on the Nth lease (0 = off)")
+		chaosStallD  = fs.Duration("chaos-stall-for", 0, "fault injection: stall duration (0 = 30s default)")
+		chaosCorrupt = fs.Int("chaos-corrupt-lease", 0, "fault injection: write a corrupt gob frame on the Nth lease (0 = off)")
+		chaosPartial = fs.Int("chaos-partial-lease", 0, "fault injection: truncate the results frame of the Nth lease (0 = off)")
+		chaosSlow    = fs.Duration("chaos-slow", 0, "fault injection: sleep this long before every work item (0 = off)")
 	)
 	fs.Parse(args)
 	if *connect == "" {
 		fmt.Fprintln(os.Stderr, "miraged worker: -connect is required")
 		os.Exit(2)
 	}
-	if *retry < 0 || *chaosFail < 0 {
-		fmt.Fprintln(os.Stderr, "miraged worker: -retry and -chaos-fail-after must be >= 0")
+	if *retry < 0 || *chaosFail < 0 || *chaosCrash < 0 || *chaosStall < 0 || *chaosCorrupt < 0 || *chaosPartial < 0 {
+		fmt.Fprintln(os.Stderr, "miraged worker: counts must be >= 0")
 		os.Exit(2)
 	}
-	var opts *dispatch.ServeOptions
-	if *chaosFail > 0 {
-		opts = &dispatch.ServeOptions{FailAfterLeases: *chaosFail}
+
+	drain := make(chan struct{})
+	var once sync.Once
+	startDrain := func(why string) {
+		once.Do(func() {
+			fmt.Fprintf(os.Stderr, "miraged worker: draining (%s)\n", why)
+			close(drain)
+		})
 	}
-	for attempt := 0; ; attempt++ {
-		err := dispatch.ServeAddr(*connect, distrib.Handlers(), opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "miraged worker: %v\n", err)
-		}
-		if attempt >= *retry {
-			if err != nil {
-				os.Exit(1)
-			}
-			return
-		}
-		time.Sleep(time.Second)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigs
+		startDrain("signal")
+	}()
+	if *drainAfter > 0 {
+		t := time.AfterFunc(*drainAfter, func() { startDrain("-drain elapsed") })
+		defer t.Stop()
 	}
+	if extraDrain != nil {
+		go func() {
+			<-extraDrain
+			startDrain("test harness")
+		}()
+	}
+
+	opts := &dispatch.ServeOptions{
+		HeartbeatInterval: *heartbeat,
+		ItemTimeout:       *itemTimeout,
+		Drain:             drain,
+		FailAfterLeases:   *chaosFail,
+	}
+	if *chaosCrash > 0 || *chaosStall > 0 || *chaosCorrupt > 0 || *chaosPartial > 0 || *chaosSlow > 0 {
+		opts.Chaos = &dispatch.ChaosConfig{
+			Seed:           *chaosSeed,
+			CrashOnLease:   *chaosCrash,
+			StallOnLease:   *chaosStall,
+			StallFor:       *chaosStallD,
+			CorruptOnLease: *chaosCorrupt,
+			PartialOnLease: *chaosPartial,
+			SlowPerItem:    *chaosSlow,
+		}
+	}
+	return dispatch.ServeLoop(*connect, distrib.Handlers(), opts, dispatch.ReconnectOptions{
+		Attempts:       *retry,
+		InitialBackoff: *backoff,
+		MaxBackoff:     *backoffMax,
+		Seed:           *chaosSeed,
+	})
 }
 
 // runCoordinator shards the Fig. 12 suite (SABRE baseline + MIRAGE
 // depth selection per circuit) across the fleet at circuit granularity
-// and writes the merged BENCH_routing.json.
-func runCoordinator(args []string) {
+// and writes the merged BENCH_routing.json, fleet failure-event
+// counters included.
+func runCoordinator(args []string) error {
 	fs := flag.NewFlagSet("miraged coordinator", flag.ExitOnError)
 	var (
-		listen   = fs.String("listen", "127.0.0.1:7117", "address to accept workers on")
-		workers  = fs.Int("workers", 1, "workers to wait for before starting")
-		topoName = fs.String("topology", "square", "square | heavyhex")
-		quick    = fs.Bool("quick", false, "reduced circuit subset and trial counts")
-		trials   = fs.Int("trials", 0, "layout/routing trials (0 = 20/20, quick = 4/4)")
-		seed     = fs.Int64("seed", 1, "random seed")
-		patience = fs.Int("patience", 0, "adaptive early-stop (0 = fixed grid)")
-		lease    = fs.Int("lease", 0, "circuits per work-queue lease (0 = default)")
-		jsonPath = fs.String("json", "BENCH_routing.json", "results file (empty = disabled)")
+		listen       = fs.String("listen", "127.0.0.1:7117", "address to accept workers on")
+		workers      = fs.Int("workers", 1, "workers to wait for before starting")
+		topoName     = fs.String("topology", "square", "square | heavyhex")
+		quick        = fs.Bool("quick", false, "reduced circuit subset and trial counts")
+		trials       = fs.Int("trials", 0, "layout/routing trials (0 = 20/20, quick = 4/4)")
+		seed         = fs.Int64("seed", 1, "random seed")
+		patience     = fs.Int("patience", 0, "adaptive early-stop (0 = fixed grid)")
+		lease        = fs.Int("lease", 0, "circuits per work-queue lease (0 = default)")
+		jsonPath     = fs.String("json", "BENCH_routing.json", "results file (empty = disabled)")
+		hbTimeout    = fs.Duration("hb-timeout", 0, "revoke a lease after this long without a heartbeat or results (0 = 30s default, negative = disable)")
+		leaseTimeout = fs.Duration("lease-timeout", 0, "revoke a lease after this long without item progress (0 = off; must exceed the slowest single item)")
+		jobDeadline  = fs.Duration("job-deadline", 0, "fail a job outright after this long, listing outstanding leases (0 = off)")
+		rejoinGrace  = fs.Duration("rejoin-grace", 0, "keep a job alive this long with zero workers connected, waiting for rejoins (0 = off)")
 	)
 	fs.Parse(args)
 	if err := (bench.SchedulerFlags{
@@ -144,16 +219,18 @@ func runCoordinator(args []string) {
 	}
 
 	hub := dispatch.NewHub()
+	hub.HeartbeatTimeout = *hbTimeout
+	hub.LeaseTimeout = *leaseTimeout
+	hub.JobDeadline = *jobDeadline
+	hub.RejoinGrace = *rejoinGrace
 	addr, err := hub.Listen(*listen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "listening on %s: %v\n", *listen, err)
-		os.Exit(1)
+		return fmt.Errorf("listening on %s: %w", *listen, err)
 	}
 	defer hub.Close()
 	fmt.Printf("coordinator on %s; waiting for %d workers...\n", addr, *workers)
 	if err := hub.WaitWorkers(*workers, 5*time.Minute); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	cl := distrib.NewCluster(hub)
 	cl.CircuitLease = *lease
@@ -175,20 +252,21 @@ func runCoordinator(args []string) {
 		SkipTrivialLayout:   true,
 	}
 	start := time.Now()
-	run := func(opts transpile.Options) []*transpile.Report {
-		reps, err := cl.TranspileBatch(circuits, topo, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return reps
+	run := func(opts transpile.Options) ([]*transpile.Report, error) {
+		return cl.TranspileBatch(circuits, topo, opts)
 	}
 	sabreOpts := base
 	mirOpts := base
 	mirOpts.Router = transpile.MIRAGE
 	mirOpts.DepthSelection = true
-	qReps := run(sabreOpts)
-	mReps := run(mirOpts)
+	qReps, err := run(sabreOpts)
+	if err != nil {
+		return err
+	}
+	mReps, err := run(mirOpts)
+	if err != nil {
+		return err
+	}
 	total := time.Since(start)
 
 	var rows []bench.RoutingRow
@@ -211,7 +289,10 @@ func runCoordinator(args []string) {
 			e.Name, q.DepthPulses, m.DepthPulses, q.SwapsInserted, m.SwapsInserted,
 			q.TrialsExecuted, m.TrialsExecuted, m.TrialsBudgeted)
 	}
+	stats := hub.Stats()
 	fmt.Printf("total runtime: %s over %d workers\n", total.Round(time.Millisecond), hub.Workers())
+	fmt.Printf("fleet events: releases=%d revocations=%d disconnects=%d reconnects=%d decode_faults=%d\n",
+		stats.Releases, stats.Revocations, stats.Disconnects, stats.Reconnects, stats.DecodeFaults)
 
 	if *jsonPath != "" {
 		f := &bench.RoutingBenchFile{
@@ -223,12 +304,19 @@ func runCoordinator(args []string) {
 			Parallelism:         pool.Size(0),
 			GOMAXPROCS:          runtime.GOMAXPROCS(0),
 			TotalWallMS:         float64(total.Microseconds()) / 1000,
-			Rows:                rows,
+			Fleet: &bench.FleetEventStats{
+				Releases:     stats.Releases,
+				Revocations:  stats.Revocations,
+				Disconnects:  stats.Disconnects,
+				Reconnects:   stats.Reconnects,
+				DecodeFaults: stats.DecodeFaults,
+			},
+			Rows: rows,
 		}
 		if err := f.WriteFile(*jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("wrote %s (%d rows)\n", *jsonPath, len(f.Rows))
 	}
+	return nil
 }

@@ -26,7 +26,8 @@ import (
 // seed-deterministic; `wall_ms` fields are hardware context and the
 // only fields expected to differ). Cache statistics are summed across
 // fragments (per-shard caches cannot reconstruct what one shared
-// cache would have counted; the sum is the honest fleet total), and
+// cache would have counted; the sum is the honest fleet total),
+// fleet failure-event counters likewise sum across fragments, and
 // total_wall_ms is the maximum fragment wall time — shards run
 // concurrently, so the slowest shard is the run's wall clock.
 // Kernel lanes are machine-local measurements and merge only when
@@ -49,6 +50,7 @@ func MergeRoutingFiles(frags []*RoutingBenchFile) (*RoutingBenchFile, error) {
 		GOMAXPROCS:          head.GOMAXPROCS,
 	}
 	var cache *RoutingCacheStats
+	var fleet *FleetEventStats
 	for i, f := range frags {
 		if f.Topology != head.Topology || f.Seed != head.Seed ||
 			f.LayoutTrials != head.LayoutTrials || f.RoutingTrials != head.RoutingTrials ||
@@ -70,6 +72,16 @@ func MergeRoutingFiles(frags []*RoutingBenchFile) (*RoutingBenchFile, error) {
 			cache.Hits += f.Cache.Hits
 			cache.Misses += f.Cache.Misses
 		}
+		if f.Fleet != nil {
+			if fleet == nil {
+				fleet = &FleetEventStats{}
+			}
+			fleet.Releases += f.Fleet.Releases
+			fleet.Revocations += f.Fleet.Revocations
+			fleet.Disconnects += f.Fleet.Disconnects
+			fleet.Reconnects += f.Fleet.Reconnects
+			fleet.DecodeFaults += f.Fleet.DecodeFaults
+		}
 		if len(f.Kernels) > 0 {
 			if len(out.Kernels) > 0 {
 				return nil, fmt.Errorf("bench: fragment %d carries a second kernel lane; kernel rows are machine-local and cannot be merged", i)
@@ -83,6 +95,7 @@ func MergeRoutingFiles(frags []*RoutingBenchFile) (*RoutingBenchFile, error) {
 		}
 		out.Cache = cache
 	}
+	out.Fleet = fleet
 	sort.SliceStable(out.Rows, func(i, j int) bool { return out.Rows[i].Seq < out.Rows[j].Seq })
 	for i, r := range out.Rows {
 		if r.Seq != i {

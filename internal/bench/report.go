@@ -53,6 +53,22 @@ type RoutingCacheStats struct {
 	HitRate       float64 `json:"hit_rate"`
 }
 
+// FleetEventStats surfaces the dispatch hub's failure-event counters
+// for distributed runs: how many leases were failed back for
+// re-granting, how many deadline revocations fired, how many
+// connections were lost, how many workers (re)joined after the first
+// job started, and how many corrupt frames got a worker quarantined.
+// The quality fields of the rows are guaranteed identical whether
+// these are zero or not — the counters exist so a chaos run can PROVE
+// recovery happened rather than silently not injecting the fault.
+type FleetEventStats struct {
+	Releases     int64 `json:"releases"`
+	Revocations  int64 `json:"revocations"`
+	Disconnects  int64 `json:"disconnects"`
+	Reconnects   int64 `json:"reconnects"`
+	DecodeFaults int64 `json:"decode_faults"`
+}
+
 // RoutingBenchFile is the top-level BENCH_routing.json document.
 type RoutingBenchFile struct {
 	Topology            string             `json:"topology"`
@@ -64,7 +80,10 @@ type RoutingBenchFile struct {
 	GOMAXPROCS          int                `json:"gomaxprocs"`
 	TotalWallMS         float64            `json:"total_wall_ms"`
 	Cache               *RoutingCacheStats `json:"cache,omitempty"`
-	Rows                []RoutingRow       `json:"rows"`
+	// Fleet is present on distributed runs only (coordinator mode) and
+	// is environmental like wall times: merge/diff tooling ignores it.
+	Fleet *FleetEventStats `json:"fleet,omitempty"`
+	Rows  []RoutingRow     `json:"rows"`
 	// Kernels holds the numeric-kernel -benchmem lane (benchsuite
 	// -kernels): ns/op is hardware context, allocs/op is deterministic
 	// and gated by cmd/benchdiff.

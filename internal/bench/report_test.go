@@ -117,3 +117,50 @@ func TestRoutingBenchFileKernelRows(t *testing.T) {
 		t.Fatalf("kernel rows mangled: %+v", out.Kernels)
 	}
 }
+
+// TestRoutingBenchFileFleetStats: the fleet failure-event block
+// round-trips, stays omitempty on serial runs, and sums across
+// fragments in a merge (like cache stats, it is a fleet total).
+func TestRoutingBenchFileFleetStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_routing.json")
+	in := &RoutingBenchFile{
+		Topology: "grid-3x4",
+		Fleet:    &FleetEventStats{Releases: 3, Revocations: 1, Disconnects: 2, Reconnects: 1, DecodeFaults: 1},
+		Rows:     []RoutingRow{{Seq: 0, Circuit: "qft_n18", Router: "sabre"}},
+	}
+	if err := in.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRoutingBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fleet == nil || *out.Fleet != *in.Fleet {
+		t.Fatalf("fleet stats mangled: %+v", out.Fleet)
+	}
+
+	serial := &RoutingBenchFile{Topology: "grid-3x4", Rows: []RoutingRow{{Seq: 0}}}
+	if err := serial.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "fleet") {
+		t.Fatal("serial document grew a fleet block")
+	}
+
+	fragA := &RoutingBenchFile{Topology: "g", Rows: []RoutingRow{{Seq: 0}},
+		Fleet: &FleetEventStats{Releases: 2, Reconnects: 1}}
+	fragB := &RoutingBenchFile{Topology: "g", Rows: []RoutingRow{{Seq: 1}},
+		Fleet: &FleetEventStats{Releases: 1, Revocations: 4}}
+	merged, err := MergeRoutingFiles([]*RoutingBenchFile{fragA, fragB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FleetEventStats{Releases: 3, Revocations: 4, Reconnects: 1}
+	if merged.Fleet == nil || *merged.Fleet != want {
+		t.Fatalf("merged fleet = %+v, want %+v", merged.Fleet, want)
+	}
+}

@@ -1,0 +1,120 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// ChaosConfig is the deterministic fault-injection layer for worker
+// serve loops: it makes a worker misbehave on chosen leases so the
+// coordinator's recovery paths (revocation, re-lease, quarantine,
+// reconnect) can be exercised on demand — in tests, and from
+// `miraged worker -chaos-*` flags in the CI chaos lane.
+//
+// Lease numbering is cumulative across reconnects of the same worker
+// process (the counter lives in the config, not the connection), so a
+// worker that crashes on lease N and redials serves cleanly afterwards
+// instead of crash-looping. All faults are deterministic: which lease
+// misbehaves is fixed by the *OnLease fields, and any injected garbage
+// bytes derive from Seed — the same seed reproduces the same fault
+// sequence.
+type ChaosConfig struct {
+	// Seed drives the pseudo-random garbage of CorruptOnLease frames.
+	Seed int64
+
+	// CrashOnLease, when positive, severs the connection without
+	// responding upon receiving the Nth lease — a mid-lease worker
+	// crash.
+	CrashOnLease int
+
+	// StallOnLease, when positive, makes the worker hang for StallFor
+	// upon receiving its Nth lease, then sever. With StallHeartbeats
+	// false (the default) the worker goes completely silent — the
+	// coordinator's heartbeat deadline fires. With StallHeartbeats
+	// true the worker keeps pinging but reports no progress — the
+	// coordinator's lease progress deadline fires instead.
+	StallOnLease    int
+	StallFor        time.Duration // default 30s when a stall triggers
+	StallHeartbeats bool
+
+	// CorruptOnLease, when positive, answers the Nth lease with a
+	// structurally invalid gob frame and severs — a corrupted wire.
+	CorruptOnLease int
+
+	// PartialOnLease, when positive, executes the Nth lease normally
+	// but writes only the first half of the encoded results frame
+	// before severing — a truncated write.
+	PartialOnLease int
+
+	// SlowPerItem, when positive, sleeps that long before every work
+	// item — a slow-but-healthy worker. Heartbeats keep flowing, so a
+	// correctly configured coordinator must NOT revoke it.
+	SlowPerItem time.Duration
+
+	mu     sync.Mutex
+	leases int
+}
+
+type chaosAction uint8
+
+const (
+	chaosNone chaosAction = iota
+	chaosCrash
+	chaosStall
+	chaosCorrupt
+	chaosPartial
+)
+
+// nextLease advances the cumulative lease counter and returns the
+// fault (if any) configured for this lease, plus the lease ordinal.
+func (c *ChaosConfig) nextLease() (int, chaosAction) {
+	if c == nil {
+		return 0, chaosNone
+	}
+	c.mu.Lock()
+	c.leases++
+	n := c.leases
+	c.mu.Unlock()
+	switch {
+	case c.CrashOnLease > 0 && n == c.CrashOnLease:
+		return n, chaosCrash
+	case c.StallOnLease > 0 && n == c.StallOnLease:
+		return n, chaosStall
+	case c.CorruptOnLease > 0 && n == c.CorruptOnLease:
+		return n, chaosCorrupt
+	case c.PartialOnLease > 0 && n == c.PartialOnLease:
+		return n, chaosPartial
+	}
+	return n, chaosNone
+}
+
+func (c *ChaosConfig) stallFor() time.Duration {
+	if c.StallFor > 0 {
+		return c.StallFor
+	}
+	return 30 * time.Second
+}
+
+// corruptFrame returns a deliberately invalid gob message: a plausible
+// length prefix followed by seed-derived junk that can never decode as
+// a wireMsg. Deterministic in (Seed, lease ordinal).
+func (c *ChaosConfig) corruptFrame(lease int) []byte {
+	r := splitmix64(uint64(c.Seed)*0x9e3779b97f4a7c15 + uint64(lease))
+	frame := make([]byte, 9)
+	frame[0] = 8 // gob length byte: an 8-byte message follows
+	for i := 1; i < len(frame); i++ {
+		r = splitmix64(r)
+		frame[i] = byte(r) | 0x80 // high bit set: never a valid type id delta
+	}
+	return frame
+}
+
+// splitmix64 is the SplitMix64 mixing function — a tiny, dependency-
+// free PRNG step used only for chaos garbage and reconnect jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

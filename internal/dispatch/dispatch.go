@@ -36,12 +36,27 @@
 //   - Hub + ServeConn implement the distributed transport: workers dial
 //     the coordinator once and then serve any number of sequential
 //     jobs, each job being a kind tag plus an opaque gob-encoded spec
-//     (see internal/distrib for the MIRAGE job kinds). The per-job
-//     conversation is lockstep — job, ready, then lease/results pairs,
-//     then an optional epilogue blob (used to ship per-worker cost
-//     caches home) — so a single goroutine per worker pumps the whole
-//     exchange and a dropped connection is detected at the next
-//     exchange and handled by re-leasing.
+//     (see internal/distrib for the MIRAGE job kinds). A single
+//     goroutine per worker pumps the exchange — job, ready, then
+//     lease/results pairs with heartbeats interleaved, then an optional
+//     epilogue blob (used to ship per-worker cost caches home).
+//
+// # Fault tolerance
+//
+// Recovery never changes results; it only changes who computes them.
+// The hub detects worker loss three ways — a broken connection, a
+// heartbeat deadline (silent worker), and a lease progress deadline
+// (live but stuck worker) — and in every case fails the lease back to
+// the queue, which re-grants it lowest-index-first. Corrupt or
+// truncated frames quarantine just the offending worker, with the peer
+// address and lease span in the error. Workers reconnect with capped
+// exponential backoff + jitter (ServeLoop) and are admitted into the
+// running job; RejoinGrace keeps a job alive across an empty-fleet
+// window. Hub.Drain stops lease issue and waits (bounded) for
+// in-flight results; a worker's Drain channel hands its current lease
+// back mid-flight. Every recovery event is counted in Hub.Stats so
+// callers and CI can assert recovery actually happened, and ChaosConfig
+// injects each fault deterministically from a seed.
 package dispatch
 
 // Lease is a half-open range [Lo, Hi) of work indices granted to one

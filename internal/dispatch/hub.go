@@ -4,31 +4,208 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// DefaultHeartbeatTimeout is how long the hub waits for any message
+// (results or heartbeat) from a worker holding a lease before revoking
+// it, when Hub.HeartbeatTimeout is zero.
+const DefaultHeartbeatTimeout = 30 * time.Second
+
+// ErrDraining rejects work submitted to a hub that has begun a
+// graceful drain.
+var ErrDraining = errors.New("dispatch: hub is draining")
+
+// ErrBusy rejects work when Hub.MaxQueuedJobs jobs are already waiting
+// their turn — loud backpressure instead of silent unbounded queueing.
+var ErrBusy = errors.New("dispatch: hub job queue is full")
+
+// errWorkerLeft marks a pumper whose worker drained gracefully; the
+// conn is dropped but the event is not a job failure.
+var errWorkerLeft = errors.New("dispatch: worker drained and left the fleet")
+
 // Hub is the coordinator side of the TCP transport: a persistent pool
 // of worker connections that serves jobs sequentially. Workers dial in
-// once (ServeAddr / miraged worker) and stay connected across jobs; a
-// worker lost mid-job has its leases failed back to the queue and is
-// dropped from the pool, and the job completes on the survivors with
-// bit-identical results — work items are deterministic in their index,
-// so a re-leased range reproduces exactly what the lost worker would
-// have returned.
+// once (ServeAddr / ServeLoop / miraged worker) and stay connected
+// across jobs; a worker lost mid-job has its leases failed back to the
+// queue and is dropped from the pool, and the job completes on the
+// survivors with bit-identical results — work items are deterministic
+// in their index, so a re-leased range reproduces exactly what the
+// lost worker would have returned.
+//
+// Fault tolerance beyond clean disconnects: workers heartbeat while
+// executing leases, and the hub enforces HeartbeatTimeout (silent
+// worker) and LeaseTimeout (live but not progressing) per lease —
+// breaching either revokes the lease, fails it back for lowest-index-
+// first re-grant, and quarantines the connection. A worker that
+// reconnects mid-job (ServeLoop) is admitted into the running job and
+// picks up new leases. Every recovery event increments a FleetStats
+// counter so callers (and CI) can assert recovery actually happened.
+//
+// The tuning fields must be set before the first RunJob and not
+// mutated afterwards.
 type Hub struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	conns map[*hubConn]bool
 	ln    net.Listener
 	jobMu sync.Mutex // serialises RunJob calls
+
+	// HeartbeatTimeout bounds the silence the hub tolerates from a
+	// worker holding a lease: if neither results nor a heartbeat
+	// arrive in time, the lease is revoked and re-granted elsewhere.
+	// 0 means DefaultHeartbeatTimeout; negative disables the check.
+	// It applies only while a lease is outstanding — job preparation
+	// and epilogue phases are bounded by JobDeadline instead.
+	HeartbeatTimeout time.Duration
+
+	// LeaseTimeout, when positive, bounds how long a lease may go
+	// without completing a further item (heartbeats carry progress
+	// counts): a worker that pings but never advances is revoked just
+	// like a silent one. It must exceed the slowest single item.
+	// 0 disables.
+	LeaseTimeout time.Duration
+
+	// JobDeadline, when positive, bounds one RunJob call end to end.
+	// On expiry the job fails with an error listing the outstanding
+	// lease spans, and the connections holding them are closed.
+	JobDeadline time.Duration
+
+	// RejoinGrace, when positive, keeps a job alive for that long
+	// after the last pumping worker is lost, giving reconnecting
+	// workers (ServeLoop backoff) a window to rejoin and resume it.
+	// 0 fails the job as soon as the fleet empties.
+	RejoinGrace time.Duration
+
+	// MaxQueuedJobs, when positive, bounds how many RunJob calls may
+	// wait behind the active one; beyond that RunJob fails fast with
+	// ErrBusy. 0 means unbounded.
+	MaxQueuedJobs int
+
+	draining    bool
+	pendingJobs int   // RunJob calls admitted but not yet active
+	startedJobs int64 // jobs that began pumping (reconnect detection)
+
+	activeJob    *jobState
+	activeLaunch func(*hubConn)
+	activeFreeze func()
+
+	stats fleetCounters
+}
+
+// fleetCounters are the hub's failure-event counters, updated with
+// atomics so pumpers never contend.
+type fleetCounters struct {
+	releases     atomic.Int64
+	revocations  atomic.Int64
+	disconnects  atomic.Int64
+	reconnects   atomic.Int64
+	decodeFaults atomic.Int64
+}
+
+// FleetStats is a snapshot of the hub's failure-event counters.
+// Releases counts leases failed back to the queue for re-granting (any
+// cause); Revocations counts deadline-triggered revocations (silent or
+// stalled workers, and job-deadline closures); Disconnects counts
+// connections lost mid-job; Reconnects counts workers that joined the
+// pool after the first job started; DecodeFaults counts corrupt or
+// truncated frames that got a worker quarantined.
+type FleetStats struct {
+	Releases     int64
+	Revocations  int64
+	Disconnects  int64
+	Reconnects   int64
+	DecodeFaults int64
+}
+
+// Stats snapshots the failure-event counters.
+func (h *Hub) Stats() FleetStats {
+	return FleetStats{
+		Releases:     h.stats.releases.Load(),
+		Revocations:  h.stats.revocations.Load(),
+		Disconnects:  h.stats.disconnects.Load(),
+		Reconnects:   h.stats.reconnects.Load(),
+		DecodeFaults: h.stats.decodeFaults.Load(),
+	}
 }
 
 type hubConn struct {
 	c   net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+}
+
+// decodeMsg decodes one worker message, bounding the read by deadline
+// (zero means no deadline). After a deadline fires the gob stream may
+// be mid-frame, so the caller must treat the connection as dead.
+func (hc *hubConn) decodeMsg(deadline time.Time) (wireMsg, error) {
+	// SetReadDeadline errors (no deadline support) leave the read
+	// unbounded, which is the pre-heartbeat behaviour; ignore them.
+	hc.c.SetReadDeadline(deadline)
+	var m wireMsg
+	err := hc.dec.Decode(&m)
+	return m, err
+}
+
+func (hc *hubConn) peer() string {
+	if a := hc.c.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "unknown"
+}
+
+// jobState is the bookkeeping for one active RunJob: how many pumpers
+// are live, which connections are awaiting lease results (so deadline
+// and drain timers can sever exactly those), and whether the job has
+// been frozen by a drain.
+type jobState struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	active     int
+	frozen     bool
+	graceTimer *time.Timer
+	graceUp    bool
+	inFlight   map[*hubConn]bool
+}
+
+func newJobState() *jobState {
+	j := &jobState{inFlight: make(map[*hubConn]bool)}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+func (j *jobState) setInFlight(hc *hubConn, v bool) {
+	j.mu.Lock()
+	if v {
+		j.inFlight[hc] = true
+	} else {
+		delete(j.inFlight, hc)
+	}
+	j.mu.Unlock()
+}
+
+// closeInFlight severs every connection currently awaiting lease
+// results, returning how many it closed. The pumpers' decode errors
+// fail the leases back to the queue.
+func (j *jobState) closeInFlight() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for hc := range j.inFlight {
+		hc.c.Close()
+		n++
+	}
+	return n
+}
+
+func (j *jobState) isFrozen() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.frozen
 }
 
 // NewHub returns an empty worker pool.
@@ -40,8 +217,8 @@ func NewHub() *Hub {
 
 // Listen starts accepting worker connections on addr (e.g.
 // "127.0.0.1:0"); the returned address carries the bound port. Accepted
-// connections join the pool immediately and are picked up by the next
-// RunJob call.
+// connections join the pool immediately; if a job is running they are
+// admitted into it, otherwise they idle until the next RunJob call.
 func (h *Hub) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -63,10 +240,20 @@ func (h *Hub) Listen(addr string) (net.Addr, error) {
 }
 
 // AddConn adds an established worker connection to the pool (the seam
-// tests use to wire in-process workers over loopback or pipes).
+// tests use to wire in-process workers over loopback or pipes). A
+// connection arriving while a job is running joins that job
+// immediately — this is how a crashed worker's reconnect resumes work
+// mid-job.
 func (h *Hub) AddConn(c net.Conn) {
+	hc := &hubConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 	h.mu.Lock()
-	h.conns[&hubConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}] = true
+	h.conns[hc] = true
+	if h.startedJobs > 0 {
+		h.stats.reconnects.Add(1)
+	}
+	if launch := h.activeLaunch; launch != nil {
+		launch(hc)
+	}
 	h.cond.Broadcast()
 	h.mu.Unlock()
 }
@@ -116,6 +303,41 @@ func (h *Hub) Close() {
 	}
 }
 
+// Drain gracefully quiesces the hub: new RunJob calls are rejected
+// with ErrDraining, the active job stops issuing leases, and in-flight
+// leases get up to wait (wait <= 0: unbounded) to deliver their
+// results before their connections are severed and the remainder is
+// failed back to the queue. Drain returns once the active job (if any)
+// has retired; the worker pool itself stays connected — call Close to
+// tear it down.
+func (h *Hub) Drain(wait time.Duration) {
+	h.mu.Lock()
+	h.draining = true
+	freeze := h.activeFreeze
+	job := h.activeJob
+	h.mu.Unlock()
+	if freeze != nil {
+		freeze()
+	}
+	if job == nil {
+		return
+	}
+	var t *time.Timer
+	if wait > 0 {
+		t = time.AfterFunc(wait, func() { job.closeInFlight() })
+	}
+	// Wait for every pumper of the active job to retire; queued RunJob
+	// calls behind it fail fast with ErrDraining on their own.
+	job.mu.Lock()
+	for job.active > 0 {
+		job.cond.Wait()
+	}
+	job.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+}
+
 func (h *Hub) drop(hc *hubConn) {
 	h.mu.Lock()
 	if h.conns[hc] {
@@ -134,52 +356,154 @@ func (h *Hub) drop(hc *hubConn) {
 // the same error a local run would have returned.
 //
 // Workers that decline the job (bad spec) sit the job out but stay
-// pooled; workers whose connection fails mid-job have their leases
-// failed back for re-granting and are dropped. If every worker is
-// gone or declined before the queue finishes, RunJob fails — there is
-// deliberately no silent local fallback, so a misconfigured fleet is
-// loud. Jobs are serialised: concurrent RunJob calls queue behind one
-// another. Workers that connect mid-job idle until the next job.
+// pooled; workers whose connection fails, breaches a heartbeat or
+// progress deadline, or sends a corrupt frame mid-job have their
+// leases failed back for re-granting and are dropped. Workers that
+// connect mid-job join it. If every worker is gone or declined before
+// the queue finishes — and no replacement arrives within RejoinGrace —
+// RunJob fails; there is deliberately no silent local fallback, so a
+// misconfigured fleet is loud. Jobs are serialised: concurrent RunJob
+// calls queue behind one another, bounded by MaxQueuedJobs.
 func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(WireItem) (T, error)) ([][]byte, error) {
+	// Admission control: fail fast while draining or over-queued,
+	// before blocking on the job lock.
+	h.mu.Lock()
+	if h.draining {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("dispatch: job %q rejected: %w", kind, ErrDraining)
+	}
+	if h.MaxQueuedJobs > 0 && h.pendingJobs >= h.MaxQueuedJobs {
+		n := h.pendingJobs
+		h.mu.Unlock()
+		return nil, fmt.Errorf("dispatch: job %q rejected, %d jobs already queued: %w", kind, n, ErrBusy)
+	}
+	h.pendingJobs++
+	h.mu.Unlock()
+
 	h.jobMu.Lock()
 	defer h.jobMu.Unlock()
 
-	h.mu.Lock()
-	conns := make([]*hubConn, 0, len(h.conns))
-	for hc := range h.conns {
-		conns = append(conns, hc)
-	}
-	h.mu.Unlock()
-	if len(conns) == 0 {
-		return nil, errors.New("dispatch: no workers connected")
-	}
-
+	job := newJobState()
 	var (
 		epMu      sync.Mutex
 		epilogues [][]byte
 		lastErr   error
 	)
-	var wg sync.WaitGroup
-	wg.Add(len(conns))
-	for _, hc := range conns {
-		go func(hc *hubConn) {
-			defer wg.Done()
-			ep, err := pumpJob(hc, kind, spec, q, fromWire)
-			epMu.Lock()
-			defer epMu.Unlock()
-			if err != nil {
+	run := func(hc *hubConn) {
+		ep, err := pumpJob(h, job, hc, kind, spec, q, fromWire)
+		if err != nil {
+			if !errors.Is(err, errWorkerLeft) {
+				epMu.Lock()
 				lastErr = err
-				h.drop(hc)
-				return
+				epMu.Unlock()
 			}
-			if ep != nil {
-				epilogues = append(epilogues, ep)
-			}
-		}(hc)
+			h.drop(hc)
+		} else if ep != nil {
+			epMu.Lock()
+			epilogues = append(epilogues, ep)
+			epMu.Unlock()
+		}
+		job.mu.Lock()
+		job.active--
+		job.cond.Broadcast()
+		job.mu.Unlock()
 	}
-	wg.Wait()
+	launch := func(hc *hubConn) {
+		job.mu.Lock()
+		job.active++
+		if job.graceTimer != nil {
+			job.graceTimer.Stop()
+			job.graceTimer = nil
+		}
+		job.graceUp = false
+		job.mu.Unlock()
+		go run(hc)
+	}
+
+	h.mu.Lock()
+	h.pendingJobs--
+	if h.draining {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("dispatch: job %q rejected: %w", kind, ErrDraining)
+	}
+	conns := make([]*hubConn, 0, len(h.conns))
+	for hc := range h.conns {
+		conns = append(conns, hc)
+	}
+	if len(conns) == 0 && h.RejoinGrace <= 0 {
+		h.mu.Unlock()
+		return nil, errors.New("dispatch: no workers connected")
+	}
+	h.startedJobs++
+	h.activeJob = job
+	h.activeLaunch = launch
+	h.activeFreeze = func() {
+		job.mu.Lock()
+		job.frozen = true
+		job.cond.Broadcast()
+		job.mu.Unlock()
+		q.Freeze()
+	}
+	h.mu.Unlock()
+
+	defer func() {
+		h.mu.Lock()
+		h.activeJob = nil
+		h.activeLaunch = nil
+		h.activeFreeze = nil
+		h.mu.Unlock()
+	}()
+
+	for _, hc := range conns {
+		launch(hc)
+	}
+
+	if h.JobDeadline > 0 {
+		d := h.JobDeadline
+		timer := time.AfterFunc(d, func() {
+			q.Abort(fmt.Errorf("dispatch: job %q exceeded deadline %s (%s)", kind, d, q.UnfinishedSummary()))
+			n := job.closeInFlight()
+			h.stats.revocations.Add(int64(n))
+		})
+		defer timer.Stop()
+	}
+
+	// Wait for the fleet to retire the job. The queue finishing is not
+	// enough — pumpers must finish their epilogue handshakes — and the
+	// fleet emptying is not final while RejoinGrace is open.
+	job.mu.Lock()
+	for {
+		if job.active > 0 {
+			job.cond.Wait()
+			continue
+		}
+		if q.Finished() || job.frozen {
+			break
+		}
+		g := h.RejoinGrace
+		if g <= 0 || job.graceUp {
+			break
+		}
+		if job.graceTimer == nil {
+			job.graceTimer = time.AfterFunc(g, func() {
+				job.mu.Lock()
+				job.graceUp = true
+				job.cond.Broadcast()
+				job.mu.Unlock()
+			})
+		}
+		job.cond.Wait()
+	}
+	if job.graceTimer != nil {
+		job.graceTimer.Stop()
+	}
+	frozen := job.frozen
+	job.mu.Unlock()
 
 	if !q.Finished() {
+		if frozen {
+			return nil, fmt.Errorf("dispatch: job %q drained with work outstanding (%s): %w", kind, q.UnfinishedSummary(), ErrDraining)
+		}
 		if lastErr == nil {
 			lastErr = errors.New("dispatch: all workers declined the job")
 		}
@@ -190,13 +514,19 @@ func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(
 
 // pumpJob drives one worker connection through one job. Returns the
 // worker's epilogue blob (nil when it declined) or a transport error.
-func pumpJob[T any](hc *hubConn, kind string, spec []byte, q *Queue[T], fromWire func(WireItem) (T, error)) ([]byte, error) {
+func pumpJob[T any](h *Hub, job *jobState, hc *hubConn, kind string, spec []byte, q *Queue[T], fromWire func(WireItem) (T, error)) ([]byte, error) {
 	if err := hc.enc.Encode(wireJob{Kind: kind, Spec: spec}); err != nil {
-		return nil, err
+		h.stats.disconnects.Add(1)
+		return nil, fmt.Errorf("dispatch: worker %s: sending job: %w", hc.peer(), err)
 	}
-	var ready wireReady
-	if err := hc.dec.Decode(&ready); err != nil {
-		return nil, err
+	ready, err := hc.decodeMsg(time.Time{})
+	if err != nil {
+		h.stats.disconnects.Add(1)
+		return nil, fmt.Errorf("dispatch: worker %s: awaiting ready: %w", hc.peer(), err)
+	}
+	if ready.Kind != msgReady {
+		h.stats.decodeFaults.Add(1)
+		return nil, fmt.Errorf("dispatch: worker %s: expected ready, got message kind %d", hc.peer(), ready.Kind)
 	}
 	if ready.Err != "" {
 		// Declined: the worker is already waiting for the next job.
@@ -210,34 +540,136 @@ func pumpJob[T any](hc *hubConn, kind string, spec []byte, q *Queue[T], fromWire
 		}
 		if err := hc.enc.Encode(wireLease{ID: l.ID, Lo: l.Lo, Hi: l.Hi}); err != nil {
 			q.Fail(l.ID)
-			return nil, err
+			h.stats.releases.Add(1)
+			h.stats.disconnects.Add(1)
+			return nil, fmt.Errorf("dispatch: worker %s: sending lease %d [%d,%d): %w", hc.peer(), l.ID, l.Lo, l.Hi, err)
 		}
-		var res wireResults
-		if err := hc.dec.Decode(&res); err != nil {
+		job.setInFlight(hc, true)
+		res, err := h.awaitResults(hc, l.ID)
+		job.setInFlight(hc, false)
+		if err != nil {
 			q.Fail(l.ID)
-			return nil, err
+			h.stats.releases.Add(1)
+			return nil, h.classifyLeaseError(hc, l, err)
 		}
-		if res.LeaseID != l.ID {
+		switch res.Kind {
+		case msgReturned:
+			// Graceful worker drain: bank the partial results, fail
+			// the remainder back, and let the worker go without
+			// marking the job errored.
+			items = items[:0]
+			for _, wi := range res.Items {
+				items = append(items, completedFromWire(wi, fromWire))
+			}
+			q.Complete(l.ID, items)
 			q.Fail(l.ID)
-			return nil, fmt.Errorf("dispatch: worker answered lease %d with results for lease %d", l.ID, res.LeaseID)
+			h.stats.releases.Add(1)
+			return nil, errWorkerLeft
+		case msgResults:
+			if res.LeaseID != l.ID {
+				q.Fail(l.ID)
+				h.stats.releases.Add(1)
+				h.stats.decodeFaults.Add(1)
+				return nil, fmt.Errorf("dispatch: worker %s answered lease %d with results for lease %d", hc.peer(), l.ID, res.LeaseID)
+			}
+			items = items[:0]
+			for _, wi := range res.Items {
+				items = append(items, completedFromWire(wi, fromWire))
+			}
+			q.Complete(l.ID, items)
+			// A full lease is retired by Complete, making this a
+			// no-op; a partial one (item-timeout on the worker) has
+			// its unreported tail failed back for re-granting.
+			q.Fail(l.ID)
+		default:
+			q.Fail(l.ID)
+			h.stats.releases.Add(1)
+			h.stats.decodeFaults.Add(1)
+			return nil, fmt.Errorf("dispatch: worker %s: unexpected message kind %d for lease %d", hc.peer(), res.Kind, l.ID)
 		}
-		items = items[:0]
-		for _, wi := range res.Items {
-			items = append(items, completedFromWire(wi, fromWire))
-		}
-		q.Complete(l.ID, items)
 	}
 	if err := hc.enc.Encode(wireLease{Done: true}); err != nil {
-		return nil, err
+		h.stats.disconnects.Add(1)
+		return nil, fmt.Errorf("dispatch: worker %s: sending done: %w", hc.peer(), err)
 	}
-	var ep wireEpilogue
-	if err := hc.dec.Decode(&ep); err != nil {
-		return nil, err
+	for {
+		msg, err := hc.decodeMsg(time.Time{})
+		if err != nil {
+			h.stats.disconnects.Add(1)
+			return nil, fmt.Errorf("dispatch: worker %s: awaiting epilogue: %w", hc.peer(), err)
+		}
+		switch msg.Kind {
+		case msgHeartbeat:
+			// A straggling ping from a lease that just completed.
+			continue
+		case msgEpilogue:
+			if msg.Blob == nil {
+				return []byte{}, nil
+			}
+			return msg.Blob, nil
+		default:
+			h.stats.decodeFaults.Add(1)
+			return nil, fmt.Errorf("dispatch: worker %s: expected epilogue, got message kind %d", hc.peer(), msg.Kind)
+		}
 	}
-	if ep.Blob == nil {
-		ep.Blob = []byte{}
+}
+
+// awaitResults reads worker messages for one outstanding lease until
+// results (or a drain handback) arrive, consuming heartbeats and
+// enforcing the hub's liveness and progress deadlines.
+func (h *Hub) awaitResults(hc *hubConn, leaseID uint64) (wireMsg, error) {
+	hbTimeout := h.HeartbeatTimeout
+	if hbTimeout == 0 {
+		hbTimeout = DefaultHeartbeatTimeout
 	}
-	return ep.Blob, nil
+	progressAt := time.Now()
+	lastDone := 0
+	for {
+		var deadline time.Time
+		if hbTimeout > 0 {
+			deadline = time.Now().Add(hbTimeout)
+		}
+		if h.LeaseTimeout > 0 {
+			if pd := progressAt.Add(h.LeaseTimeout); deadline.IsZero() || pd.Before(deadline) {
+				deadline = pd
+			}
+		}
+		msg, err := hc.decodeMsg(deadline)
+		if err != nil {
+			return wireMsg{}, err
+		}
+		switch msg.Kind {
+		case msgHeartbeat:
+			if msg.LeaseID == leaseID && msg.Done > lastDone {
+				lastDone = msg.Done
+				progressAt = time.Now()
+			}
+		case msgResults, msgReturned:
+			hc.c.SetReadDeadline(time.Time{})
+			return msg, nil
+		default:
+			return wireMsg{}, fmt.Errorf("unexpected message kind %d while awaiting results", msg.Kind)
+		}
+	}
+}
+
+// classifyLeaseError wraps a lease-phase failure with the peer address
+// and lease context (the quarantine diagnostic of satellite S2) and
+// counts it: deadline breaches are revocations, closed connections are
+// disconnects, anything else is a corrupt frame.
+func (h *Hub) classifyLeaseError(hc *hubConn, l Lease, err error) error {
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		h.stats.revocations.Add(1)
+		return fmt.Errorf("dispatch: revoking lease %d [%d,%d) from worker %s: no heartbeat or progress within deadline: %w", l.ID, l.Lo, l.Hi, hc.peer(), err)
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, net.ErrClosed), errors.Is(err, io.ErrClosedPipe):
+		h.stats.disconnects.Add(1)
+		return fmt.Errorf("dispatch: worker %s disconnected holding lease %d [%d,%d): %w", hc.peer(), l.ID, l.Lo, l.Hi, err)
+	default:
+		h.stats.decodeFaults.Add(1)
+		return fmt.Errorf("dispatch: quarantining worker %s: corrupt frame while decoding results for lease %d [%d,%d): %w", hc.peer(), l.ID, l.Lo, l.Hi, err)
+	}
 }
 
 func completedFromWire[T any](wi WireItem, fromWire func(WireItem) (T, error)) Completed[T] {

@@ -1,6 +1,11 @@
 package dispatch
 
-import "sync"
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
 
 // Queue is the coordinator-side state machine of the work-queue
 // subsystem: it grants leases over the index range [0, max), accepts
@@ -39,6 +44,7 @@ type Queue[T any] struct {
 	pending  map[int]Completed[T]
 	consumed int
 	stopped  bool
+	frozen   bool // drain: stop granting, keep accepting results
 	firstErr error
 	consume  func(i int, v T) bool
 }
@@ -89,7 +95,7 @@ func (q *Queue[T]) Lease() (Lease, bool) {
 }
 
 func (q *Queue[T]) leaseLocked() (Lease, bool) {
-	if q.finishedLocked() {
+	if q.frozen || q.finishedLocked() {
 		return Lease{}, false
 	}
 	var span leaseSpan
@@ -127,11 +133,88 @@ func (q *Queue[T]) LeaseWait() (Lease, bool) {
 		if l, ok := q.leaseLocked(); ok {
 			return l, true
 		}
-		if q.finishedLocked() {
+		if q.frozen || q.finishedLocked() {
 			return Lease{}, false
 		}
 		q.cond.Wait()
 	}
+}
+
+// Freeze puts the queue in drain mode: no further leases are granted
+// (Lease and LeaseWait return ok=false) and parked waiters wake, but
+// in-flight leases may still Complete and the consumer keeps draining.
+// Used by Hub.Drain to let workers finish what they hold without
+// starting anything new. Freeze does not mark the queue finished.
+func (q *Queue[T]) Freeze() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.frozen = true
+	q.cond.Broadcast()
+}
+
+// Abort stops the queue with err (kept only if no error was consumed
+// first), discards buffered results, and wakes every waiter. Used for
+// job-level deadlines where no further results can be useful. Aborting
+// an already-finished queue is a no-op.
+func (q *Queue[T]) Abort(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.finishedLocked() {
+		return
+	}
+	q.stopped = true
+	if q.firstErr == nil {
+		q.firstErr = err
+	}
+	for k := range q.pending {
+		delete(q.pending, k)
+	}
+	q.cond.Broadcast()
+}
+
+// OutstandingLeases snapshots the leases currently granted and not yet
+// fully reported, sorted by Lo. Diagnostic: deadline and drain errors
+// use it to say exactly which spans the fleet still owes.
+func (q *Queue[T]) OutstandingLeases() []Lease {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Lease, 0, len(q.leases))
+	for id, span := range q.leases {
+		out = append(out, Lease{ID: id, Lo: span.lo, Hi: span.hi})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out
+}
+
+// UnfinishedSummary renders the queue's remaining work as a short
+// human-readable string: consumed count, outstanding lease spans,
+// failed spans awaiting re-grant, and the never-granted tail.
+func (q *Queue[T]) UnfinishedSummary() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d consumed", q.consumed, q.max)
+	if len(q.leases) > 0 {
+		spans := make([]leaseSpan, 0, len(q.leases))
+		for _, s := range q.leases {
+			spans = append(spans, s)
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		b.WriteString("; outstanding leases:")
+		for _, s := range spans {
+			fmt.Fprintf(&b, " [%d,%d)", s.lo, s.hi)
+		}
+	}
+	if len(q.release) > 0 {
+		b.WriteString("; awaiting re-lease:")
+		for _, s := range q.release {
+			fmt.Fprintf(&b, " [%d,%d)", s.lo, s.hi)
+		}
+	}
+	if q.next < q.max {
+		fmt.Fprintf(&b, "; never leased: [%d,%d)", q.next, q.max)
+	}
+	return b.String()
 }
 
 // Complete reports finished work items. Items from unknown (failed or

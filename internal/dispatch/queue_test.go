@@ -3,7 +3,9 @@ package dispatch
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 )
 
 // drainAll leases everything and completes it, simulating one worker.
@@ -232,5 +234,100 @@ func TestQueueWaitReturnsConsumedError(t *testing.T) {
 	q.Complete(l.ID, []Completed[int]{{Index: 0, Err: want}})
 	if err := q.Wait(); !errors.Is(err, want) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueueFreezeStopsGrantsKeepsResults(t *testing.T) {
+	var seen []int
+	q := NewQueue(10, 2, func(i, v int) bool { seen = append(seen, i); return false })
+	l1, ok := q.Lease()
+	if !ok {
+		t.Fatal("no first lease")
+	}
+	q.Freeze()
+	if _, ok := q.Lease(); ok {
+		t.Fatal("frozen queue granted a lease")
+	}
+	if _, ok := q.LeaseWait(); ok {
+		t.Fatal("frozen queue granted a waited lease")
+	}
+	if q.Finished() {
+		t.Fatal("freezing marked the queue finished")
+	}
+	// The in-flight lease still completes and drains to the consumer.
+	q.Complete(l1.ID, []Completed[int]{{Index: 0, Value: 0}, {Index: 1, Value: 1}})
+	if len(seen) != 2 {
+		t.Fatalf("consumed %v after freeze, want the in-flight lease's items", seen)
+	}
+	if q.Consumed() != 2 {
+		t.Fatalf("Consumed() = %d, want 2", q.Consumed())
+	}
+}
+
+func TestQueueFreezeWakesParkedWaiter(t *testing.T) {
+	q := NewQueue[int](4, 4, nil)
+	if _, ok := q.Lease(); !ok {
+		t.Fatal("no lease")
+	}
+	woke := make(chan bool, 1)
+	go func() {
+		_, ok := q.LeaseWait()
+		woke <- ok
+	}()
+	q.Freeze()
+	select {
+	case ok := <-woke:
+		if ok {
+			t.Fatal("frozen LeaseWait returned a lease")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("LeaseWait stayed parked through Freeze")
+	}
+}
+
+func TestQueueAbortStopsWithError(t *testing.T) {
+	q := NewQueue[int](10, 2, nil)
+	l, _ := q.Lease()
+	bang := errors.New("deadline")
+	q.Abort(bang)
+	if !q.Finished() {
+		t.Fatal("aborted queue not finished")
+	}
+	if err := q.Wait(); !errors.Is(err, bang) {
+		t.Fatalf("Wait() = %v, want the abort error", err)
+	}
+	if _, ok := q.Lease(); ok {
+		t.Fatal("aborted queue granted a lease")
+	}
+	// Late results for a pre-abort lease are ignored, not consumed.
+	q.Complete(l.ID, []Completed[int]{{Index: 0, Value: 0}})
+	if q.Consumed() != 0 {
+		t.Fatalf("Consumed() = %d after abort, want 0", q.Consumed())
+	}
+	// Abort after finishing is a no-op and must not clobber the error.
+	q.Abort(errors.New("second"))
+	if err := q.Err(); !errors.Is(err, bang) {
+		t.Fatalf("Err() = %v after double abort, want the first error", err)
+	}
+}
+
+func TestQueueOutstandingAndSummary(t *testing.T) {
+	q := NewQueue[int](20, 4, nil)
+	l1, _ := q.Lease() // [0,4)
+	l2, _ := q.Lease() // [4,8)
+	q.Complete(l1.ID, []Completed[int]{{Index: 0}, {Index: 1}, {Index: 2}, {Index: 3}})
+	out := q.OutstandingLeases()
+	if len(out) != 1 || out[0].ID != l2.ID || out[0].Lo != 4 || out[0].Hi != 8 {
+		t.Fatalf("OutstandingLeases() = %v, want just [4,8)", out)
+	}
+	sum := q.UnfinishedSummary()
+	for _, want := range []string{"4/20 consumed", "[4,8)", "never leased: [8,20)"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+	q.Fail(l2.ID)
+	if !strings.Contains(q.UnfinishedSummary(), "awaiting re-lease: [4,8)") {
+		t.Fatalf("summary %q missing the failed span", q.UnfinishedSummary())
 	}
 }

@@ -1,18 +1,31 @@
 package dispatch
 
 // The gob wire protocol of the TCP transport. A connection belongs to
-// one worker and serves any number of sequential jobs; within a job
-// the conversation is strictly lockstep, so each side always knows the
-// concrete type of the next message and no envelope tagging is needed:
+// one worker and serves any number of sequential jobs. The
+// coordinator -> worker direction is strictly lockstep, so those
+// messages need no envelope:
 //
 //	coordinator -> worker   wireJob{Kind, Spec}
-//	worker -> coordinator   wireReady{Err}            (declines the job when Err != "")
 //	repeat:
 //	  coordinator -> worker wireLease{ID, Lo, Hi}
-//	  worker -> coordinator wireResults{LeaseID, Items}
 //	finally:
 //	  coordinator -> worker wireLease{Done: true}
-//	  worker -> coordinator wireEpilogue{Blob}
+//
+// The worker -> coordinator direction is a tagged union (wireMsg),
+// because a worker executing a lease interleaves liveness heartbeats
+// with its eventual results — the coordinator cannot know which
+// arrives next:
+//
+//	worker -> coordinator   wireMsg{Kind: msgReady, Err}        answers wireJob; Err != "" declines
+//	worker -> coordinator   wireMsg{Kind: msgHeartbeat, LeaseID, Done}
+//	                                                            liveness ping while executing a lease;
+//	                                                            Done counts items finished in that lease
+//	worker -> coordinator   wireMsg{Kind: msgResults, LeaseID, Items}
+//	                                                            answers wireLease
+//	worker -> coordinator   wireMsg{Kind: msgReturned, LeaseID, Items}
+//	                                                            graceful drain: partial results, the
+//	                                                            rest of the lease is handed back
+//	worker -> coordinator   wireMsg{Kind: msgEpilogue, Blob}    answers wireLease{Done: true}
 //
 // Specs, result blobs and epilogues are opaque byte slices: the job
 // kinds (internal/distrib) define their contents. Scores ride in a
@@ -35,21 +48,30 @@ type wireJob struct {
 	Spec []byte
 }
 
-type wireReady struct {
-	Err string
-}
-
 type wireLease struct {
 	ID     uint64
 	Lo, Hi int
 	Done   bool
 }
 
-type wireResults struct {
-	LeaseID uint64
-	Items   []WireItem
-}
+// msgKind tags a worker -> coordinator wireMsg.
+type msgKind uint8
 
-type wireEpilogue struct {
-	Blob []byte
+const (
+	msgReady msgKind = iota + 1
+	msgHeartbeat
+	msgResults
+	msgReturned
+	msgEpilogue
+)
+
+// wireMsg is the worker -> coordinator envelope; the fields used
+// depend on Kind (see the protocol sketch above).
+type wireMsg struct {
+	Kind    msgKind
+	Err     string
+	LeaseID uint64
+	Done    int
+	Items   []WireItem
+	Blob    []byte
 }

@@ -46,15 +46,24 @@ func e2eCircuit(name string, qubits, twoQ int, seed int64) *circuit.Circuit {
 }
 
 // startCluster wires n in-process workers (plus optional flaky ones)
-// to a fresh cluster over pipes.
+// to a fresh cluster over pipes. When a flaky worker is present the
+// healthy ones are slowed slightly so the flaky worker reliably wins
+// enough leases to reach its fatal one — otherwise a fast healthy
+// worker can drain the queue first and the death never happens.
 func startCluster(t *testing.T, healthy, flaky int, failAfter int) *Cluster {
 	t.Helper()
 	h := dispatch.NewHub()
 	t.Cleanup(h.Close)
+	var healthyOpts *dispatch.ServeOptions
+	if flaky > 0 {
+		healthyOpts = &dispatch.ServeOptions{
+			Chaos: &dispatch.ChaosConfig{SlowPerItem: 2 * time.Millisecond},
+		}
+	}
 	for w := 0; w < healthy; w++ {
 		server, client := net.Pipe()
 		h.AddConn(server)
-		go dispatch.ServeConn(client, Handlers(), nil)
+		go dispatch.ServeConn(client, Handlers(), healthyOpts)
 	}
 	for w := 0; w < flaky; w++ {
 		server, client := net.Pipe()

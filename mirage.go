@@ -256,6 +256,32 @@ func ServeWorkerAddr(addr string) error {
 	return dispatch.ServeAddr(addr, distrib.Handlers(), nil)
 }
 
+// WorkerOptions tunes the worker side of the dispatch protocol:
+// heartbeat cadence, per-item timeouts, a graceful-drain channel that
+// hands the current lease back to the coordinator, and seeded fault
+// injection (ChaosConfig) for testing coordinator recovery.
+type WorkerOptions = dispatch.ServeOptions
+
+// ReconnectOptions bounds ServeResilientWorker's capped
+// exponential-backoff redial loop.
+type ReconnectOptions = dispatch.ReconnectOptions
+
+// ServeResilientWorker is ServeWorkerAddr with fault tolerance: the
+// worker reconnects with capped exponential backoff and jitter when
+// the coordinator goes away, rejoins in-progress jobs, and drains
+// gracefully when opts.Drain is closed — the library form of
+// `miraged worker -connect ... -retry ... -drain`.
+func ServeResilientWorker(addr string, opts *WorkerOptions, rc ReconnectOptions) error {
+	return dispatch.ServeLoop(addr, distrib.Handlers(), opts, rc)
+}
+
+// FleetStats is a snapshot of a hub's failure-event counters (lease
+// re-grants, deadline revocations, disconnects, reconnects, quarantined
+// decode faults), available via DispatchHub.Stats. Recovery never
+// changes results — the counters exist so callers can assert that
+// recovery happened.
+type FleetStats = dispatch.FleetStats
+
 // TranspileBatchOver shards a batch across the cluster at circuit
 // granularity: every report is bit-identical to the local
 // TranspileBatch's, and worker cost caches are merged into opts.Cache
