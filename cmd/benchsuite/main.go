@@ -83,6 +83,11 @@ func (rc *runConfig) fleetStats() *bench.FleetEventStats {
 		Disconnects:  s.Disconnects,
 		Reconnects:   s.Reconnects,
 		DecodeFaults: s.DecodeFaults,
+		Rejected:     s.Rejected,
+		Poisoned:     s.Poisoned,
+		LocalItems:   s.LocalItems,
+		Degraded:     s.Degraded,
+		Recovered:    s.Recovered,
 	}
 }
 
@@ -111,6 +116,9 @@ func main() {
 		leaseTo   = flag.Duration("lease-timeout", 0, "distributed: revoke a lease after this long without item progress (0 = off)")
 		jobDeadl  = flag.Duration("job-deadline", 0, "distributed: fail a job outright after this long, listing outstanding leases (0 = off)")
 		rejoin    = flag.Duration("rejoin-grace", 0, "distributed: keep a job alive this long with zero workers connected (0 = off)")
+		journal   = flag.String("journal", "", "distributed: write-ahead job journal directory; a restarted coordinator pointed at the same directory resumes unfinished jobs (requires -listen)")
+		fleetWait = flag.Duration("fleet-wait", 5*time.Minute, "distributed: how long to wait for -workers workers before starting; with -local-fallback a timeout proceeds degraded instead of failing")
+		localFall = flag.Bool("local-fallback", true, "distributed: let the coordinator execute poison items and worker-starved job remainders itself (degraded mode)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (pprof format)")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	)
@@ -155,6 +163,10 @@ func main() {
 	}
 	if (*listen == "") != (*workers == 0) {
 		fmt.Fprintln(os.Stderr, "benchsuite: -listen and -workers must be set together")
+		os.Exit(2)
+	}
+	if *journal != "" && *listen == "" {
+		fmt.Fprintln(os.Stderr, "benchsuite: -journal only applies to distributed runs (set -listen); serial runs are rerun, not resumed")
 		os.Exit(2)
 	}
 
@@ -202,6 +214,21 @@ func main() {
 		hub.LeaseTimeout = *leaseTo
 		hub.JobDeadline = *jobDeadl
 		hub.RejoinGrace = *rejoin
+		if *localFall {
+			hub.LocalHandlers = distrib.Handlers()
+		}
+		if *journal != "" {
+			jd, err := dispatch.OpenJournalDir(*journal)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "opening journal %s: %v\n", *journal, err)
+				os.Exit(1)
+			}
+			if n := jd.Recovered(); n > 0 {
+				fmt.Printf("journal: recovered %d job(s) from %s (%d torn frame(s) truncated); unfinished work will be resumed, not rerun\n",
+					n, *journal, jd.TruncatedFrames())
+			}
+			hub.Journal = jd
+		}
 		addr, err := hub.Listen(*listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "listening on %s: %v\n", *listen, err)
@@ -209,9 +236,13 @@ func main() {
 		}
 		defer hub.Close()
 		fmt.Printf("coordinator listening on %s; waiting for %d workers...\n", addr, *workers)
-		if err := hub.WaitWorkers(*workers, 5*time.Minute); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := hub.WaitWorkers(*workers, *fleetWait); err != nil {
+			if hub.LocalHandlers == nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchsuite: %v; proceeding with %d workers — the remainder will run DEGRADED on the coordinator\n",
+				err, hub.Workers())
 		}
 		fmt.Printf("%d workers connected; trials will be dispatched remotely\n", hub.Workers())
 		rc.cluster = distrib.NewCluster(hub)

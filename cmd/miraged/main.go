@@ -26,9 +26,22 @@
 // seeded faults (crash, silent stall, corrupt frame, partial write,
 // slow items) for exercising the coordinator's recovery paths; see the
 // CI chaos lane for the reference invocation.
+//
+// The coordinator itself is crash-safe with -journal DIR: completed
+// result batches are persisted to a write-ahead journal before they
+// are consumed, so a coordinator killed mid-suite and restarted with
+// the same -journal directory resumes its jobs — replaying journaled
+// results and re-granting only the remainder — with rows bit-identical
+// to an uninterrupted run. With -local-fallback (default on) the
+// coordinator also executes poison items (work whose lease repeatedly
+// crashes workers) and whole job remainders when the fleet empties or
+// never arrives (-fleet-wait), so a batch survives total worker loss.
+// Failures map to documented exit codes (see usage) so wrapper scripts
+// can distinguish "retry later" from "job failed".
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -63,8 +76,28 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "miraged:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// Exit codes. Wrapper scripts (and the CI lanes) branch on these, so
+// they are part of the command's interface:
+//
+//	0 — success
+//	1 — job failure (worker faults exhausted recovery, deadline hit, …)
+//	2 — usage error (bad flags)
+//	3 — rejected by admission control (dispatch.ErrBusy): the hub's
+//	    MaxQueuedJobs queue is full; retry later
+//	4 — rejected because the coordinator is draining
+//	    (dispatch.ErrDraining): submit to another coordinator
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, dispatch.ErrBusy):
+		return 3
+	case errors.Is(err, dispatch.ErrDraining):
+		return 4
+	}
+	return 1
 }
 
 func usage() {
@@ -77,7 +110,11 @@ func usage() {
   miraged coordinator -listen ADDR -workers N [-topology square|heavyhex]
                       [-quick] [-trials N] [-seed N] [-patience N]
                       [-lease N] [-json PATH] [-hb-timeout D] [-lease-timeout D]
-                      [-job-deadline D] [-rejoin-grace D]`)
+                      [-job-deadline D] [-rejoin-grace D] [-journal DIR]
+                      [-fleet-wait D] [-local-fallback=false]
+
+exit codes: 0 success, 1 job failure, 2 usage,
+            3 rejected busy (ErrBusy), 4 rejected draining (ErrDraining)`)
 	os.Exit(2)
 }
 
@@ -187,6 +224,9 @@ func runCoordinator(args []string) error {
 		leaseTimeout = fs.Duration("lease-timeout", 0, "revoke a lease after this long without item progress (0 = off; must exceed the slowest single item)")
 		jobDeadline  = fs.Duration("job-deadline", 0, "fail a job outright after this long, listing outstanding leases (0 = off)")
 		rejoinGrace  = fs.Duration("rejoin-grace", 0, "keep a job alive this long with zero workers connected, waiting for rejoins (0 = off)")
+		journalDir   = fs.String("journal", "", "write-ahead job journal directory: a restarted coordinator pointed at the same directory resumes unfinished jobs instead of rerunning them (empty = off)")
+		fleetWait    = fs.Duration("fleet-wait", 5*time.Minute, "how long to wait for -workers workers before starting; with -local-fallback a timeout proceeds degraded instead of failing")
+		localFall    = fs.Bool("local-fallback", true, "let the coordinator execute poison items and worker-starved job remainders itself (degraded mode) instead of failing the job")
 	)
 	fs.Parse(args)
 	if err := (bench.SchedulerFlags{
@@ -223,14 +263,32 @@ func runCoordinator(args []string) error {
 	hub.LeaseTimeout = *leaseTimeout
 	hub.JobDeadline = *jobDeadline
 	hub.RejoinGrace = *rejoinGrace
+	if *localFall {
+		hub.LocalHandlers = distrib.Handlers()
+	}
+	if *journalDir != "" {
+		jd, err := dispatch.OpenJournalDir(*journalDir)
+		if err != nil {
+			return fmt.Errorf("opening journal %s: %w", *journalDir, err)
+		}
+		if n := jd.Recovered(); n > 0 {
+			fmt.Printf("journal: recovered %d job(s) from %s (%d torn frame(s) truncated); unfinished work will be resumed, not rerun\n",
+				n, *journalDir, jd.TruncatedFrames())
+		}
+		hub.Journal = jd
+	}
 	addr, err := hub.Listen(*listen)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *listen, err)
 	}
 	defer hub.Close()
 	fmt.Printf("coordinator on %s; waiting for %d workers...\n", addr, *workers)
-	if err := hub.WaitWorkers(*workers, 5*time.Minute); err != nil {
-		return err
+	if err := hub.WaitWorkers(*workers, *fleetWait); err != nil {
+		if hub.LocalHandlers == nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "miraged coordinator: %v; proceeding with %d workers — the remainder will run DEGRADED on the coordinator\n",
+			err, hub.Workers())
 	}
 	cl := distrib.NewCluster(hub)
 	cl.CircuitLease = *lease
@@ -291,8 +349,9 @@ func runCoordinator(args []string) error {
 	}
 	stats := hub.Stats()
 	fmt.Printf("total runtime: %s over %d workers\n", total.Round(time.Millisecond), hub.Workers())
-	fmt.Printf("fleet events: releases=%d revocations=%d disconnects=%d reconnects=%d decode_faults=%d\n",
-		stats.Releases, stats.Revocations, stats.Disconnects, stats.Reconnects, stats.DecodeFaults)
+	fmt.Printf("fleet events: releases=%d revocations=%d disconnects=%d reconnects=%d decode_faults=%d rejected=%d poisoned=%d local_items=%d degraded=%d recovered=%d\n",
+		stats.Releases, stats.Revocations, stats.Disconnects, stats.Reconnects, stats.DecodeFaults,
+		stats.Rejected, stats.Poisoned, stats.LocalItems, stats.Degraded, stats.Recovered)
 
 	if *jsonPath != "" {
 		f := &bench.RoutingBenchFile{
@@ -310,6 +369,11 @@ func runCoordinator(args []string) error {
 				Disconnects:  stats.Disconnects,
 				Reconnects:   stats.Reconnects,
 				DecodeFaults: stats.DecodeFaults,
+				Rejected:     stats.Rejected,
+				Poisoned:     stats.Poisoned,
+				LocalItems:   stats.LocalItems,
+				Degraded:     stats.Degraded,
+				Recovered:    stats.Recovered,
 			},
 			Rows: rows,
 		}

@@ -81,6 +81,11 @@ func MergeRoutingFiles(frags []*RoutingBenchFile) (*RoutingBenchFile, error) {
 			fleet.Disconnects += f.Fleet.Disconnects
 			fleet.Reconnects += f.Fleet.Reconnects
 			fleet.DecodeFaults += f.Fleet.DecodeFaults
+			fleet.Rejected += f.Fleet.Rejected
+			fleet.Poisoned += f.Fleet.Poisoned
+			fleet.LocalItems += f.Fleet.LocalItems
+			fleet.Degraded += f.Fleet.Degraded
+			fleet.Recovered += f.Fleet.Recovered
 		}
 		if len(f.Kernels) > 0 {
 			if len(out.Kernels) > 0 {
@@ -97,9 +102,19 @@ func MergeRoutingFiles(frags []*RoutingBenchFile) (*RoutingBenchFile, error) {
 	}
 	out.Fleet = fleet
 	sort.SliceStable(out.Rows, func(i, j int) bool { return out.Rows[i].Seq < out.Rows[j].Seq })
+	// Duplicate seq values are an explicit conflict, diagnosed before
+	// the density check so an overlap is never misreported as a missing
+	// shard — and never resolved silently by last-wins.
+	for i := 1; i < len(out.Rows); i++ {
+		prev, r := out.Rows[i-1], out.Rows[i]
+		if r.Seq == prev.Seq {
+			return nil, fmt.Errorf("bench: two fragments both carry seq %d (%s/%s and %s/%s) — overlapping shards must be re-run with disjoint row ranges, not merged",
+				r.Seq, prev.Circuit, prev.Router, r.Circuit, r.Router)
+		}
+	}
 	for i, r := range out.Rows {
 		if r.Seq != i {
-			return nil, fmt.Errorf("bench: merged rows have seq %d at position %d — fragments overlap or a shard is missing", r.Seq, i)
+			return nil, fmt.Errorf("bench: merged rows have seq %d at position %d — a shard is missing", r.Seq, i)
 		}
 	}
 	return out, nil

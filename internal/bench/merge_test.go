@@ -2,6 +2,7 @@ package bench
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -138,6 +139,29 @@ func TestMergeRoutingFilesRejectsGapsAndOverlaps(t *testing.T) {
 	b.Rows = []RoutingRow{row(1, "y", "sabre", 1)} // overlaps a
 	if _, err := MergeRoutingFiles([]*RoutingBenchFile{&a, &b}); err == nil {
 		t.Fatal("merged overlapping fragments")
+	}
+}
+
+// TestMergeRoutingFilesDuplicateSeqConflictIsExplicit: two fragments
+// carrying the same seq with different rows is a conflict the merge
+// must name — both identities, never a silent last-wins pick and never
+// misreported as a missing shard.
+func TestMergeRoutingFilesDuplicateSeqConflictIsExplicit(t *testing.T) {
+	a, b := header(), header()
+	a.Rows = []RoutingRow{row(0, "qft_n18", "sabre", 10), row(1, "qft_n18", "mirage", 8)}
+	b.Rows = []RoutingRow{row(1, "wstate_n27", "sabre", 5), row(2, "wstate_n27", "mirage", 4)}
+	merged, err := MergeRoutingFiles([]*RoutingBenchFile{&a, &b})
+	if err == nil {
+		t.Fatalf("conflicting duplicate seq merged silently: %+v", merged.Rows)
+	}
+	msg := err.Error()
+	for _, want := range []string{"seq 1", "qft_n18/mirage", "wstate_n27/sabre"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("conflict error %q does not name %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "missing") {
+		t.Fatalf("overlap misreported as a missing shard: %q", msg)
 	}
 }
 

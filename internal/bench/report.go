@@ -57,16 +57,27 @@ type RoutingCacheStats struct {
 // for distributed runs: how many leases were failed back for
 // re-granting, how many deadline revocations fired, how many
 // connections were lost, how many workers (re)joined after the first
-// job started, and how many corrupt frames got a worker quarantined.
-// The quality fields of the rows are guaranteed identical whether
-// these are zero or not — the counters exist so a chaos run can PROVE
-// recovery happened rather than silently not injecting the fault.
+// job started, how many corrupt frames got a worker quarantined, how
+// many jobs admission control rejected (ErrBusy), how many poison
+// items were quarantined after repeated worker crashes, how many items
+// the coordinator executed itself (quarantine or degraded mode), how
+// many times a job degraded to local execution, and how many jobs were
+// replayed or resumed from the write-ahead journal after a coordinator
+// restart. The quality fields of the rows are guaranteed identical
+// whether these are zero or not — the counters exist so a chaos or
+// crash-recovery run can PROVE recovery happened rather than silently
+// not injecting the fault.
 type FleetEventStats struct {
 	Releases     int64 `json:"releases"`
 	Revocations  int64 `json:"revocations"`
 	Disconnects  int64 `json:"disconnects"`
 	Reconnects   int64 `json:"reconnects"`
 	DecodeFaults int64 `json:"decode_faults"`
+	Rejected     int64 `json:"rejected"`
+	Poisoned     int64 `json:"poisoned"`
+	LocalItems   int64 `json:"local_items"`
+	Degraded     int64 `json:"degraded"`
+	Recovered    int64 `json:"recovered"`
 }
 
 // RoutingBenchFile is the top-level BENCH_routing.json document.

@@ -51,8 +51,19 @@ type ChaosConfig struct {
 	// correctly configured coordinator must NOT revoke it.
 	SlowPerItem time.Duration
 
-	mu     sync.Mutex
-	leases int
+	// CrashOnResultBatch is the one hub-side injection point: when
+	// positive and the config is installed as Hub.Chaos, the
+	// coordinator "crashes" while journaling its Nth banked result
+	// batch — it writes half the journal frame (the torn tail a SIGKILL
+	// mid-write leaves) and aborts the job with ErrSimulatedCrash. It
+	// makes journal truncation and restart replay testable in-process,
+	// deterministically, with no process kills. Requires a journal;
+	// without one the batch still aborts but nothing is torn.
+	CrashOnResultBatch int
+
+	mu         sync.Mutex
+	leases     int
+	hubBatches int
 }
 
 type chaosAction uint8
@@ -86,6 +97,19 @@ func (c *ChaosConfig) nextLease() (int, chaosAction) {
 		return n, chaosPartial
 	}
 	return n, chaosNone
+}
+
+// nextHubBatch advances the hub-side banked-batch counter and reports
+// whether this batch is the one configured to crash the coordinator.
+func (c *ChaosConfig) nextHubBatch() (int, bool) {
+	if c == nil || c.CrashOnResultBatch <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	c.hubBatches++
+	n := c.hubBatches
+	c.mu.Unlock()
+	return n, n == c.CrashOnResultBatch
 }
 
 func (c *ChaosConfig) stallFor() time.Duration {

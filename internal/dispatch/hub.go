@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,16 @@ var ErrBusy = errors.New("dispatch: hub job queue is full")
 // errWorkerLeft marks a pumper whose worker drained gracefully; the
 // conn is dropped but the event is not a job failure.
 var errWorkerLeft = errors.New("dispatch: worker drained and left the fleet")
+
+// ErrSimulatedCrash is the sentinel of the hub-side chaos injection
+// (ChaosConfig.CrashOnResultBatch): the job aborts with it at the
+// moment a real coordinator would have been killed mid-journal-write.
+var ErrSimulatedCrash = errors.New("dispatch: simulated coordinator crash")
+
+// DefaultPoisonThreshold is how many distinct worker crashes implicate
+// an item before it is quarantined and executed locally, when
+// Hub.PoisonThreshold is zero.
+const DefaultPoisonThreshold = 3
 
 // Hub is the coordinator side of the TCP transport: a persistent pool
 // of worker connections that serves jobs sequentially. Workers dial in
@@ -86,6 +97,40 @@ type Hub struct {
 	// ErrBusy. 0 means unbounded.
 	MaxQueuedJobs int
 
+	// LocalHandlers, when non-nil, lets the coordinator execute work
+	// items itself using the same Handler table the workers run. It
+	// enables poison-item quarantine (a repeatedly worker-crashing item
+	// is completed locally instead of failing the job) and
+	// degraded-mode fallback (a job whose fleet is empty past
+	// RejoinGrace finishes locally instead of failing). Both paths are
+	// deterministic: items are pure functions of their index, so who
+	// executes them cannot change the output. Nil keeps the PR 8
+	// behaviour — a fleetless job is a loud failure.
+	LocalHandlers map[string]Handler
+
+	// PoisonThreshold is how many distinct worker crashes may implicate
+	// an item's lease before the item is quarantined and executed
+	// locally. 0 means DefaultPoisonThreshold; negative disables
+	// quarantine. Only effective when LocalHandlers covers the job
+	// kind.
+	PoisonThreshold int
+
+	// Journal, when non-nil, makes every job crash-safe: the spec is
+	// persisted before launch and every banked result batch is fsync'd
+	// to the journal before it is consumed, so a coordinator restarted
+	// with the same journal directory replays finished work and
+	// re-grants only the remainder. See OpenJournalDir.
+	Journal *JournalDir
+
+	// Chaos, when non-nil, enables the hub-side fault injection points
+	// (CrashOnResultBatch); worker-side chaos lives in ServeOptions.
+	Chaos *ChaosConfig
+
+	// Logf receives the hub's loud operational events (degraded-mode
+	// entry, poison quarantines, journal replays). Nil means the
+	// standard library logger.
+	Logf func(format string, args ...any)
+
 	draining    bool
 	pendingJobs int   // RunJob calls admitted but not yet active
 	startedJobs int64 // jobs that began pumping (reconnect detection)
@@ -105,6 +150,11 @@ type fleetCounters struct {
 	disconnects  atomic.Int64
 	reconnects   atomic.Int64
 	decodeFaults atomic.Int64
+	rejected     atomic.Int64
+	poisoned     atomic.Int64
+	localItems   atomic.Int64
+	degraded     atomic.Int64
+	recovered    atomic.Int64
 }
 
 // FleetStats is a snapshot of the hub's failure-event counters.
@@ -113,13 +163,24 @@ type fleetCounters struct {
 // stalled workers, and job-deadline closures); Disconnects counts
 // connections lost mid-job; Reconnects counts workers that joined the
 // pool after the first job started; DecodeFaults counts corrupt or
-// truncated frames that got a worker quarantined.
+// truncated frames that got a worker quarantined; Rejected counts jobs
+// refused with ErrBusy by MaxQueuedJobs admission control; Poisoned
+// counts items quarantined after crossing the poison threshold;
+// LocalItems counts items the coordinator executed itself (quarantine
+// or degraded mode); Degraded counts times a job fell back to local
+// execution for its remainder; Recovered counts jobs replayed or
+// resumed from the write-ahead journal after a coordinator restart.
 type FleetStats struct {
 	Releases     int64
 	Revocations  int64
 	Disconnects  int64
 	Reconnects   int64
 	DecodeFaults int64
+	Rejected     int64
+	Poisoned     int64
+	LocalItems   int64
+	Degraded     int64
+	Recovered    int64
 }
 
 // Stats snapshots the failure-event counters.
@@ -130,7 +191,21 @@ func (h *Hub) Stats() FleetStats {
 		Disconnects:  h.stats.disconnects.Load(),
 		Reconnects:   h.stats.reconnects.Load(),
 		DecodeFaults: h.stats.decodeFaults.Load(),
+		Rejected:     h.stats.rejected.Load(),
+		Poisoned:     h.stats.poisoned.Load(),
+		LocalItems:   h.stats.localItems.Load(),
+		Degraded:     h.stats.degraded.Load(),
+		Recovered:    h.stats.recovered.Load(),
 	}
+}
+
+// logf routes a loud operational event to Logf or the standard logger.
+func (h *Hub) logf(format string, args ...any) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 type hubConn struct {
@@ -176,6 +251,28 @@ func newJobState() *jobState {
 	j := &jobState{inFlight: make(map[*hubConn]bool)}
 	j.cond = sync.NewCond(&j.mu)
 	return j
+}
+
+// enter registers an active executor (a pumper or a local quarantine
+// run) with the job; any pending rejoin-grace countdown is cancelled,
+// because the job is no longer idle.
+func (j *jobState) enter() {
+	j.mu.Lock()
+	j.active++
+	if j.graceTimer != nil {
+		j.graceTimer.Stop()
+		j.graceTimer = nil
+	}
+	j.graceUp = false
+	j.mu.Unlock()
+}
+
+// exit retires an active executor and wakes the job waiter.
+func (j *jobState) exit() {
+	j.mu.Lock()
+	j.active--
+	j.cond.Broadcast()
+	j.mu.Unlock()
 }
 
 func (j *jobState) setInFlight(hc *hubConn, v bool) {
@@ -361,9 +458,14 @@ func (h *Hub) drop(hc *hubConn) {
 // leases failed back for re-granting and are dropped. Workers that
 // connect mid-job join it. If every worker is gone or declined before
 // the queue finishes — and no replacement arrives within RejoinGrace —
-// RunJob fails; there is deliberately no silent local fallback, so a
-// misconfigured fleet is loud. Jobs are serialised: concurrent RunJob
-// calls queue behind one another, bounded by MaxQueuedJobs.
+// RunJob either finishes the remainder locally (LocalHandlers set:
+// degraded mode, logged loudly and counted in FleetStats) or fails;
+// without LocalHandlers there is deliberately no silent local
+// fallback, so a misconfigured fleet is loud. With Hub.Journal set the
+// job is crash-safe: its spec and every banked result batch are
+// persisted before use, and a restarted coordinator replays them. Jobs
+// are serialised: concurrent RunJob calls queue behind one another,
+// bounded by MaxQueuedJobs.
 func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(WireItem) (T, error)) ([][]byte, error) {
 	// Admission control: fail fast while draining or over-queued,
 	// before blocking on the job lock.
@@ -375,7 +477,8 @@ func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(
 	if h.MaxQueuedJobs > 0 && h.pendingJobs >= h.MaxQueuedJobs {
 		n := h.pendingJobs
 		h.mu.Unlock()
-		return nil, fmt.Errorf("dispatch: job %q rejected, %d jobs already queued: %w", kind, n, ErrBusy)
+		h.stats.rejected.Add(1)
+		return nil, fmt.Errorf("dispatch: job %q rejected, %d of %d queued-job slots in use (MaxQueuedJobs): %w", kind, n, h.MaxQueuedJobs, ErrBusy)
 	}
 	h.pendingJobs++
 	h.mu.Unlock()
@@ -383,60 +486,78 @@ func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(
 	h.jobMu.Lock()
 	defer h.jobMu.Unlock()
 
-	job := newJobState()
-	var (
-		epMu      sync.Mutex
-		epilogues [][]byte
-		lastErr   error
-	)
-	run := func(hc *hubConn) {
-		ep, err := pumpJob(h, job, hc, kind, spec, q, fromWire)
-		if err != nil {
-			if !errors.Is(err, errWorkerLeft) {
-				epMu.Lock()
-				lastErr = err
-				epMu.Unlock()
-			}
-			h.drop(hc)
-		} else if ep != nil {
-			epMu.Lock()
-			epilogues = append(epilogues, ep)
-			epMu.Unlock()
-		}
-		job.mu.Lock()
-		job.active--
-		job.cond.Broadcast()
-		job.mu.Unlock()
-	}
-	launch := func(hc *hubConn) {
-		job.mu.Lock()
-		job.active++
-		if job.graceTimer != nil {
-			job.graceTimer.Stop()
-			job.graceTimer = nil
-		}
-		job.graceUp = false
-		job.mu.Unlock()
-		go run(hc)
-	}
-
 	h.mu.Lock()
 	h.pendingJobs--
-	if h.draining {
-		h.mu.Unlock()
+	draining := h.draining
+	h.mu.Unlock()
+	if draining {
 		return nil, fmt.Errorf("dispatch: job %q rejected: %w", kind, ErrDraining)
 	}
+
+	jr := &jobRun[T]{
+		h:        h,
+		job:      newJobState(),
+		kind:     kind,
+		spec:     spec,
+		q:        q,
+		fromWire: fromWire,
+		lex:      h.localExecFor(kind, spec),
+	}
+
+	// Journal the job (and replay a previous run's banked results)
+	// before any lease can be granted: recovered indices are marked
+	// done, so workers are granted only the unfinished remainder.
+	if h.Journal != nil {
+		jw, rec, err := h.Journal.begin(kind, spec, q.Max())
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			h.stats.recovered.Add(1)
+			h.logf("dispatch: job %q: replaying %d journaled result item(s) from %s", kind, len(rec.Items), rec.Path)
+			items := make([]Completed[T], 0, len(rec.Items))
+			for _, wi := range rec.Items {
+				items = append(items, completedFromWire(wi, fromWire))
+			}
+			q.Deliver(items)
+		}
+		if q.Finished() {
+			// Pure replay: the journaled prefix already satisfies the
+			// consumer. Epilogues are per-worker state and are nil here.
+			if jw != nil {
+				if q.Err() == nil {
+					jw.finish()
+				}
+				jw.close()
+			}
+			return nil, q.Err()
+		}
+		if jw == nil {
+			return nil, fmt.Errorf("dispatch: job %q: journal %s is marked complete but its replay left work unfinished (%s) — the consumer is not deterministic", kind, rec.Path, q.UnfinishedSummary())
+		}
+		jr.jw = jw
+		defer jw.close()
+	}
+
+	if jr.lex.available() {
+		if k := h.poisonThreshold(); k > 0 {
+			q.SetPoisonThreshold(k)
+		}
+	}
+
+	job := jr.job
+	h.mu.Lock()
 	conns := make([]*hubConn, 0, len(h.conns))
 	for hc := range h.conns {
 		conns = append(conns, hc)
 	}
-	if len(conns) == 0 && h.RejoinGrace <= 0 {
+	if len(conns) == 0 && h.RejoinGrace <= 0 && !jr.lex.available() {
 		h.mu.Unlock()
 		return nil, errors.New("dispatch: no workers connected")
 	}
 	h.startedJobs++
 	h.activeJob = job
-	h.activeLaunch = launch
+	h.activeLaunch = jr.launch
 	h.activeFreeze = func() {
 		job.mu.Lock()
 		job.frozen = true
@@ -455,7 +576,7 @@ func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(
 	}()
 
 	for _, hc := range conns {
-		launch(hc)
+		jr.launch(hc)
 	}
 
 	if h.JobDeadline > 0 {
@@ -470,7 +591,9 @@ func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(
 
 	// Wait for the fleet to retire the job. The queue finishing is not
 	// enough — pumpers must finish their epilogue handshakes — and the
-	// fleet emptying is not final while RejoinGrace is open.
+	// fleet emptying is not final while RejoinGrace is open. A job
+	// stranded with work outstanding (fleet empty, grace exhausted)
+	// degrades to local execution when LocalHandlers allow it.
 	job.mu.Lock()
 	for {
 		if job.active > 0 {
@@ -482,6 +605,14 @@ func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(
 		}
 		g := h.RejoinGrace
 		if g <= 0 || job.graceUp {
+			if jr.lex.available() {
+				job.mu.Unlock()
+				h.stats.degraded.Add(1)
+				h.logf("dispatch: DEGRADED MODE: job %q has no live workers (rejoin grace %s exhausted); executing the remainder locally on the coordinator (%s)", kind, g, q.UnfinishedSummary())
+				jr.runLocalRemainder()
+				job.mu.Lock()
+				continue
+			}
 			break
 		}
 		if job.graceTimer == nil {
@@ -504,18 +635,121 @@ func RunJob[T any](h *Hub, kind string, spec []byte, q *Queue[T], fromWire func(
 		if frozen {
 			return nil, fmt.Errorf("dispatch: job %q drained with work outstanding (%s): %w", kind, q.UnfinishedSummary(), ErrDraining)
 		}
+		jr.epMu.Lock()
+		lastErr := jr.lastErr
+		jr.epMu.Unlock()
 		if lastErr == nil {
 			lastErr = errors.New("dispatch: all workers declined the job")
 		}
 		return nil, fmt.Errorf("dispatch: job %q unfinished: %w", kind, lastErr)
 	}
+	if jr.jw != nil && q.Err() == nil {
+		// The queue is satisfied: mark the journal complete so a
+		// restart replays instead of re-executing. Failed jobs skip the
+		// marker — an abort (deadline, simulated crash) must stay
+		// resumable, and a deterministic consumed error will reproduce
+		// itself from the banked prefix anyway.
+		if err := jr.jw.finish(); err != nil {
+			h.logf("dispatch: job %q: writing journal completion marker: %v", kind, err)
+		}
+	}
+	jr.epMu.Lock()
+	epilogues := jr.epilogues
+	jr.epMu.Unlock()
 	return epilogues, q.Err()
 }
 
-// pumpJob drives one worker connection through one job. Returns the
+// jobRun bundles the per-job context one RunJob call threads through
+// its pumpers, the journal, and the local (quarantine/degraded)
+// execution paths.
+type jobRun[T any] struct {
+	h        *Hub
+	job      *jobState
+	kind     string
+	spec     []byte
+	q        *Queue[T]
+	fromWire func(WireItem) (T, error)
+	jw       *jobJournal
+	lex      *localExec
+
+	epMu      sync.Mutex
+	epilogues [][]byte
+	lastErr   error
+}
+
+// launch admits a connection into the running job (the Hub calls it
+// for mid-job joiners too).
+func (jr *jobRun[T]) launch(hc *hubConn) {
+	jr.job.enter()
+	go jr.runConn(hc)
+}
+
+func (jr *jobRun[T]) runConn(hc *hubConn) {
+	defer jr.job.exit()
+	ep, err := jr.pump(hc)
+	if err != nil {
+		if !errors.Is(err, errWorkerLeft) {
+			jr.epMu.Lock()
+			jr.lastErr = err
+			jr.epMu.Unlock()
+		}
+		jr.h.drop(hc)
+	} else if ep != nil {
+		jr.epMu.Lock()
+		jr.epilogues = append(jr.epilogues, ep)
+		jr.epMu.Unlock()
+	}
+}
+
+// bank persists one result batch to the journal BEFORE it reaches the
+// queue — the write-ahead ordering that makes recovery exact. A write
+// failure (or the chaos-injected coordinator crash) aborts the job:
+// results the journal cannot hold are results a restart would lose.
+func (jr *jobRun[T]) bank(items []WireItem) error {
+	n, crash := jr.h.Chaos.nextHubBatch()
+	if crash {
+		if jr.jw != nil {
+			jr.jw.tear(items)
+		}
+		err := fmt.Errorf("dispatch: job %q: %w while journaling result batch %d", jr.kind, ErrSimulatedCrash, n)
+		jr.q.Abort(err)
+		return err
+	}
+	if jr.jw == nil {
+		return nil
+	}
+	if err := jr.jw.appendBatch(items); err != nil {
+		err = fmt.Errorf("dispatch: job %q: aborting, banked results are no longer crash-safe: %w", jr.kind, err)
+		jr.q.Abort(err)
+		return err
+	}
+	return nil
+}
+
+// failLease fails a lease lost to a worker crash back to the queue,
+// with suspicion: items repeatedly implicated in crashes are
+// quarantined and handed to the local executor instead of being
+// re-leased forever.
+func (jr *jobRun[T]) failLease(l Lease) {
+	jr.h.stats.releases.Add(1)
+	poisoned := jr.q.FailSuspect(l.ID)
+	if len(poisoned) == 0 {
+		return
+	}
+	jr.h.stats.poisoned.Add(int64(len(poisoned)))
+	jr.h.logf("dispatch: job %q: quarantining poison item(s) %v — each implicated in %d worker crashes — for local execution on the coordinator", jr.kind, poisoned, jr.h.poisonThreshold())
+	jr.job.enter()
+	go func() {
+		defer jr.job.exit()
+		jr.runQuarantined(poisoned)
+	}()
+}
+
+// pump drives one worker connection through one job. Returns the
 // worker's epilogue blob (nil when it declined) or a transport error.
-func pumpJob[T any](h *Hub, job *jobState, hc *hubConn, kind string, spec []byte, q *Queue[T], fromWire func(WireItem) (T, error)) ([]byte, error) {
-	if err := hc.enc.Encode(wireJob{Kind: kind, Spec: spec}); err != nil {
+func (jr *jobRun[T]) pump(hc *hubConn) ([]byte, error) {
+	h, q, job := jr.h, jr.q, jr.job
+	if err := hc.enc.Encode(wireJob{Kind: jr.kind, Spec: jr.spec}); err != nil {
 		h.stats.disconnects.Add(1)
 		return nil, fmt.Errorf("dispatch: worker %s: sending job: %w", hc.peer(), err)
 	}
@@ -539,6 +773,9 @@ func pumpJob[T any](h *Hub, job *jobState, hc *hubConn, kind string, spec []byte
 			break
 		}
 		if err := hc.enc.Encode(wireLease{ID: l.ID, Lo: l.Lo, Hi: l.Hi}); err != nil {
+			// The worker died before it could even start the lease: no
+			// suspicion accrues — poison means "crashes whoever runs
+			// it", and nobody ran it.
 			q.Fail(l.ID)
 			h.stats.releases.Add(1)
 			h.stats.disconnects.Add(1)
@@ -548,18 +785,21 @@ func pumpJob[T any](h *Hub, job *jobState, hc *hubConn, kind string, spec []byte
 		res, err := h.awaitResults(hc, l.ID)
 		job.setInFlight(hc, false)
 		if err != nil {
-			q.Fail(l.ID)
-			h.stats.releases.Add(1)
+			jr.failLease(l)
 			return nil, h.classifyLeaseError(hc, l, err)
 		}
 		switch res.Kind {
 		case msgReturned:
 			// Graceful worker drain: bank the partial results, fail
 			// the remainder back, and let the worker go without
-			// marking the job errored.
+			// marking the job errored (and without suspicion — a
+			// drain is not a crash).
+			if err := jr.bank(res.Items); err != nil {
+				return nil, err
+			}
 			items = items[:0]
 			for _, wi := range res.Items {
-				items = append(items, completedFromWire(wi, fromWire))
+				items = append(items, completedFromWire(wi, jr.fromWire))
 			}
 			q.Complete(l.ID, items)
 			q.Fail(l.ID)
@@ -567,14 +807,16 @@ func pumpJob[T any](h *Hub, job *jobState, hc *hubConn, kind string, spec []byte
 			return nil, errWorkerLeft
 		case msgResults:
 			if res.LeaseID != l.ID {
-				q.Fail(l.ID)
-				h.stats.releases.Add(1)
+				jr.failLease(l)
 				h.stats.decodeFaults.Add(1)
 				return nil, fmt.Errorf("dispatch: worker %s answered lease %d with results for lease %d", hc.peer(), l.ID, res.LeaseID)
 			}
+			if err := jr.bank(res.Items); err != nil {
+				return nil, err
+			}
 			items = items[:0]
 			for _, wi := range res.Items {
-				items = append(items, completedFromWire(wi, fromWire))
+				items = append(items, completedFromWire(wi, jr.fromWire))
 			}
 			q.Complete(l.ID, items)
 			// A full lease is retired by Complete, making this a
@@ -582,8 +824,7 @@ func pumpJob[T any](h *Hub, job *jobState, hc *hubConn, kind string, spec []byte
 			// its unreported tail failed back for re-granting.
 			q.Fail(l.ID)
 		default:
-			q.Fail(l.ID)
-			h.stats.releases.Add(1)
+			jr.failLease(l)
 			h.stats.decodeFaults.Add(1)
 			return nil, fmt.Errorf("dispatch: worker %s: unexpected message kind %d for lease %d", hc.peer(), res.Kind, l.ID)
 		}

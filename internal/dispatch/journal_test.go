@@ -1,0 +1,241 @@
+package dispatch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func wireItems(lo, hi int) []WireItem {
+	items := make([]WireItem, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		items = append(items, WireItem{Index: i, Score: float64((i*31 + 7) % 23)})
+	}
+	return items
+}
+
+// TestJournalRoundTrip: a journaled job — spec, batches, completion
+// marker — is recovered whole by a fresh scan.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jd, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, rec, err := jd.begin("score", []byte("spec-bytes"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatalf("fresh journal recovered %+v", rec)
+	}
+	if err := jw.appendBatch(wireItems(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.appendBatch(wireItems(4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.finish(); err != nil {
+		t.Fatal(err)
+	}
+	jw.close()
+
+	jd2, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jd2.Recovered() != 1 || jd2.TruncatedFrames() != 0 {
+		t.Fatalf("recovered=%d truncated=%d, want 1 clean job", jd2.Recovered(), jd2.TruncatedFrames())
+	}
+	jw2, rec2, err := jd2.begin("score", []byte("spec-bytes"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jw2 != nil {
+		t.Fatal("completed journal returned a writer; replay needs none")
+	}
+	if rec2 == nil || !rec2.Done || len(rec2.Items) != 8 {
+		t.Fatalf("recovered job = %+v, want Done with 8 items", rec2)
+	}
+	for k, wi := range rec2.Items {
+		if wi.Index != k {
+			t.Fatalf("recovered item %d has index %d", k, wi.Index)
+		}
+	}
+}
+
+// TestJournalTornTailTruncated: a crash mid-append leaves a torn final
+// frame; the scan must truncate it away, keep the valid prefix, and
+// leave the file appendable for the resumed job.
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	jd, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, _, err := jd.begin("score", []byte("spec"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.appendBatch(wireItems(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	goodLen := fileSize(t, jw.path)
+	// The chaos tear: half of a valid batch frame, exactly what a
+	// SIGKILL mid-write leaves behind.
+	if err := jw.tear(wireItems(4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	jw.close()
+	if fileSize(t, jw.path) <= goodLen {
+		t.Fatal("tear appended nothing")
+	}
+
+	jd2, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jd2.TruncatedFrames() != 1 {
+		t.Fatalf("TruncatedFrames = %d, want 1", jd2.TruncatedFrames())
+	}
+	if got := fileSize(t, jw.path); got != goodLen {
+		t.Fatalf("file is %d bytes after truncation, want %d", got, goodLen)
+	}
+	jw2, rec, err := jd2.begin("score", []byte("spec"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || rec.Done || len(rec.Items) != 4 {
+		t.Fatalf("recovered job = %+v, want 4 items, not done", rec)
+	}
+	// The resumed journal appends cleanly past the truncation point.
+	if err := jw2.appendBatch(wireItems(4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	jw2.close()
+	jd3, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec3, err := jd3.begin("score", []byte("spec"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec3.Items) != 8 {
+		t.Fatalf("after resume, recovered %d items, want 8", len(rec3.Items))
+	}
+}
+
+// TestJournalCorruptFrameTruncatesSuffix: a bit flip inside a frame
+// fails its CRC; that frame and everything after it are dropped —
+// prefix-valid WAL semantics.
+func TestJournalCorruptFrameTruncatesSuffix(t *testing.T) {
+	dir := t.TempDir()
+	jd, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, _, err := jd.begin("score", []byte("spec"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.appendBatch(wireItems(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	secondAt := fileSize(t, jw.path)
+	if err := jw.appendBatch(wireItems(4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.appendBatch(wireItems(8, 12)); err != nil {
+		t.Fatal(err)
+	}
+	jw.close()
+
+	// Flip one payload byte of the second batch frame.
+	data, err := os.ReadFile(jw.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[secondAt+journalFrameHeader+2] ^= 0xff
+	if err := os.WriteFile(jw.path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jd2, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jd2.TruncatedFrames() != 1 {
+		t.Fatalf("TruncatedFrames = %d, want 1", jd2.TruncatedFrames())
+	}
+	_, rec, err := jd2.begin("score", []byte("spec"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Items) != 4 {
+		t.Fatalf("recovered %d items after corruption, want only the 4 before it", len(rec.Items))
+	}
+	if got := fileSize(t, jw.path); got != secondAt {
+		t.Fatalf("file is %d bytes, want truncation back to %d", got, secondAt)
+	}
+}
+
+// TestJournalTornFirstFrameDiscarded: a crash inside the very first
+// append leaves a useless file; the scan removes it and the job
+// journals fresh at that position.
+func TestJournalTornFirstFrameDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job-00000.wal")
+	if err := os.WriteFile(path, []byte{9, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jd, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jd.Recovered() != 0 || jd.TruncatedFrames() != 1 {
+		t.Fatalf("recovered=%d truncated=%d, want the torn file discarded", jd.Recovered(), jd.TruncatedFrames())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("torn first-frame journal still on disk")
+	}
+	jw, rec, err := jd.begin("score", []byte("s"), 5)
+	if err != nil || rec != nil || jw == nil {
+		t.Fatalf("begin after discard: jw=%v rec=%v err=%v", jw, rec, err)
+	}
+	jw.close()
+}
+
+// TestJournalSpecMismatchIsLoud: replaying a journal against a
+// different job identity must error, never silently mis-replay.
+func TestJournalSpecMismatchIsLoud(t *testing.T) {
+	dir := t.TempDir()
+	jd, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, _, err := jd.begin("score", []byte("spec-a"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.close()
+
+	jd2, err := OpenJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = jd2.begin("score", []byte("spec-b"), 20)
+	if err == nil || !strings.Contains(err.Error(), "not deterministic") {
+		t.Fatalf("spec mismatch err = %v, want a loud determinism error", err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

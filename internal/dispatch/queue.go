@@ -47,6 +47,14 @@ type Queue[T any] struct {
 	frozen   bool // drain: stop granting, keep accepting results
 	firstErr error
 	consume  func(i int, v T) bool
+
+	// Poison-item quarantine (see SetPoisonThreshold): suspicion counts
+	// how many distinct worker crashes each index's lease has been
+	// implicated in; an index reaching the threshold is quarantined —
+	// withheld from re-granting and left for the hub's local executor.
+	poisonK     int
+	suspicion   []int
+	quarantined map[int]bool
 }
 
 type leaseSpan struct{ lo, hi int }
@@ -109,11 +117,27 @@ func (q *Queue[T]) leaseLocked() (Lease, bool) {
 			q.release = q.release[1:]
 		}
 	case q.next < q.max:
-		span = leaseSpan{q.next, q.next + q.leaseSize}
-		if span.hi > q.max {
-			span.hi = q.max
+		// Skip indices already done — a queue reconstructed from a
+		// journal replay has an arbitrary done-set below max, and only
+		// the unfinished remainder may be granted.
+		for q.next < q.max && q.done[q.next] {
+			q.next++
 		}
-		q.next = span.hi
+		if q.next >= q.max {
+			return Lease{}, false
+		}
+		hi := q.next + q.leaseSize
+		if hi > q.max {
+			hi = q.max
+		}
+		for j := q.next + 1; j < hi; j++ {
+			if q.done[j] {
+				hi = j
+				break
+			}
+		}
+		span = leaseSpan{q.next, hi}
+		q.next = hi
 	default:
 		return Lease{}, false
 	}
@@ -214,6 +238,18 @@ func (q *Queue[T]) UnfinishedSummary() string {
 	if q.next < q.max {
 		fmt.Fprintf(&b, "; never leased: [%d,%d)", q.next, q.max)
 	}
+	if len(q.quarantined) > 0 {
+		idxs := make([]int, 0, len(q.quarantined))
+		for i := range q.quarantined {
+			if !q.done[i] {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) > 0 {
+			sort.Ints(idxs)
+			fmt.Fprintf(&b, "; quarantined awaiting local execution: %v", idxs)
+		}
+	}
 	return b.String()
 }
 
@@ -285,18 +321,51 @@ func (q *Queue[T]) drainLocked() {
 // lease already reported stay reported. Unknown lease IDs are ignored,
 // so transports may Fail unconditionally on any worker error.
 func (q *Queue[T]) Fail(id uint64) {
+	q.failImpl(id, false)
+}
+
+// SetPoisonThreshold arms poison-item quarantine: an index whose lease
+// is implicated in k distinct worker crashes (k calls to FailSuspect)
+// is quarantined instead of re-leased forever — withheld from
+// re-granting and reported back so the transport can execute it
+// out-of-band (the hub runs it locally) and Deliver the result.
+// k <= 0 (the default) disables quarantine and makes FailSuspect
+// behave exactly like Fail. Must be set before leasing starts.
+func (q *Queue[T]) SetPoisonThreshold(k int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.poisonK = k
+	if k > 0 && q.suspicion == nil {
+		q.suspicion = make([]int, q.max)
+		q.quarantined = make(map[int]bool)
+	}
+}
+
+// FailSuspect is Fail for a lease lost to a worker crash: every
+// unfinished index of the lease accrues one count of suspicion, and
+// indices crossing the poison threshold are quarantined rather than
+// re-granted. It returns the newly quarantined indices (ascending);
+// the caller owns completing them via Deliver.
+func (q *Queue[T]) FailSuspect(id uint64) []int {
+	return q.failImpl(id, true)
+}
+
+func (q *Queue[T]) failImpl(id uint64, suspect bool) []int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	span, ok := q.leases[id]
 	if !ok {
-		return
+		return nil
 	}
 	delete(q.leases, id)
 	if q.finishedLocked() {
-		return
+		return nil
 	}
+	var poisoned []int
 	// Collect the maximal unfinished sub-spans, keeping release sorted
-	// by lo so re-grants happen lowest-first.
+	// by lo so re-grants happen lowest-first. Under suspicion, indices
+	// crossing the poison threshold are carved out of the re-released
+	// spans and returned for out-of-band execution.
 	for i := span.lo; i < span.hi; {
 		if q.done[i] {
 			i++
@@ -306,10 +375,49 @@ func (q *Queue[T]) Fail(id uint64) {
 		for j < span.hi && !q.done[j] {
 			j++
 		}
-		q.insertReleaseLocked(leaseSpan{i, j})
+		if suspect && q.poisonK > 0 {
+			lo := i
+			for k := i; k < j; k++ {
+				q.suspicion[k]++
+				if q.suspicion[k] >= q.poisonK && !q.quarantined[k] {
+					q.quarantined[k] = true
+					poisoned = append(poisoned, k)
+					if lo < k {
+						q.insertReleaseLocked(leaseSpan{lo, k})
+					}
+					lo = k + 1
+				}
+			}
+			if lo < j {
+				q.insertReleaseLocked(leaseSpan{lo, j})
+			}
+		} else {
+			q.insertReleaseLocked(leaseSpan{i, j})
+		}
 		i = j
 	}
 	q.cond.Broadcast()
+	return poisoned
+}
+
+// Deliver reports results produced outside any lease: a journal replay
+// reconstructing a previous run's banked batches, a quarantined item
+// executed locally on the hub, or a degraded-mode local sweep. Items
+// for indices already reported (or out of range) are ignored, exactly
+// like duplicate lease completions.
+func (q *Queue[T]) Deliver(items []Completed[T]) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, it := range items {
+		if it.Index < 0 || it.Index >= q.max || q.done[it.Index] {
+			continue
+		}
+		q.done[it.Index] = true
+		if !q.stopped && it.Index >= q.consumed {
+			q.pending[it.Index] = it
+		}
+	}
+	q.drainLocked()
 }
 
 func (q *Queue[T]) insertReleaseLocked(s leaseSpan) {
