@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -37,6 +38,11 @@ type runConfig struct {
 	cache        *polytope.CostCache
 	cacheLoaded  int  // entries merged from -cache-file at startup
 	kernels      bool // run the numeric-kernel -benchmem lane
+	// hitsBase/missesBase snapshot the cache counters at the start of
+	// each -repeat pass, so every JSON document reports its own pass's
+	// hit rate rather than the cumulative total — the number the CI
+	// warm-start lane asserts strictly increases on a warmed hub.
+	hitsBase, missesBase int64
 	// mirrorVerify enables the semantic survival check on mirror-family
 	// suite rows inside runFig12 (runMirror always verifies).
 	mirrorVerify bool
@@ -88,7 +94,56 @@ func (rc *runConfig) fleetStats() *bench.FleetEventStats {
 		LocalItems:   s.LocalItems,
 		Degraded:     s.Degraded,
 		Recovered:    s.Recovered,
+
+		WarmSends:        s.WarmSends,
+		WarmSkips:        s.WarmSkips,
+		WarmBytesSent:    s.WarmBytesSent,
+		WarmBytesSkipped: s.WarmBytesSkipped,
 	}
+}
+
+// beginPass snapshots the cache counters at the start of a suite pass.
+func (rc *runConfig) beginPass() {
+	rc.hitsBase, rc.missesBase = rc.cache.Stats()
+}
+
+// cacheStats builds the JSON cache statistics for the pass that just
+// ran: hits/misses since beginPass (on a warm-tier distributed run
+// the cache is the fleet master, so worker epilogue counters are
+// included), plus the master's warm-tier telemetry when one exists.
+func (rc *runConfig) cacheStats() *bench.RoutingCacheStats {
+	hits, misses := rc.cache.Stats()
+	hits -= rc.hitsBase
+	misses -= rc.missesBase
+	cs := &bench.RoutingCacheStats{
+		LoadedEntries: rc.cacheLoaded,
+		FinalEntries:  rc.cache.Len(),
+		Hits:          hits,
+		Misses:        misses,
+	}
+	if hits+misses > 0 {
+		cs.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if rc.cluster != nil && rc.cluster.Master != nil {
+		ws := rc.cluster.Master.Stats()
+		cs.SnapshotVersion = ws.SnapshotVersion
+		cs.WarmEntries = ws.Entries
+		cs.FoldedJobs = ws.FoldedJobs
+		cs.FoldedEntries = ws.FoldedEntries
+	}
+	return cs
+}
+
+// iterPath derives the JSON path of suite pass it: pass 1 keeps the
+// flag value, later passes insert ".runN" before the extension
+// (BENCH_routing.json -> BENCH_routing.run2.json), so a -repeat run
+// leaves one comparable document per pass.
+func iterPath(path string, it int) string {
+	if path == "" || it <= 1 {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.run%d%s", strings.TrimSuffix(path, ext), it, ext)
 }
 
 func main() {
@@ -117,6 +172,8 @@ func main() {
 		jobDeadl  = flag.Duration("job-deadline", 0, "distributed: fail a job outright after this long, listing outstanding leases (0 = off)")
 		rejoin    = flag.Duration("rejoin-grace", 0, "distributed: keep a job alive this long with zero workers connected (0 = off)")
 		journal   = flag.String("journal", "", "distributed: write-ahead job journal directory; a restarted coordinator pointed at the same directory resumes unfinished jobs (requires -listen)")
+		warm      = flag.Bool("warm", true, "distributed: keep a hub-resident master cost cache that folds worker epilogue deltas and re-seeds later jobs (also routes -cache-file to the fleet)")
+		repeat    = flag.Int("repeat", 1, "run the selected experiment N times against the same process (and hub); pass N writes -json with a .runN suffix, so warm-start wins are measurable")
 		fleetWait = flag.Duration("fleet-wait", 5*time.Minute, "distributed: how long to wait for -workers workers before starting; with -local-fallback a timeout proceeds degraded instead of failing")
 		localFall = flag.Bool("local-fallback", true, "distributed: let the coordinator execute poison items and worker-starved job remainders itself (degraded mode)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (pprof format)")
@@ -167,6 +224,16 @@ func main() {
 	}
 	if *journal != "" && *listen == "" {
 		fmt.Fprintln(os.Stderr, "benchsuite: -journal only applies to distributed runs (set -listen); serial runs are rerun, not resumed")
+		os.Exit(2)
+	}
+	if err := (bench.WarmFlags{
+		Listen: *listen, Warm: *warm, CacheFile: *cacheFile, Repeat: *repeat,
+	}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(2)
+	}
+	if *patSweep != "" && *repeat > 1 {
+		fmt.Fprintln(os.Stderr, "benchsuite: -patience-sweep already iterates internally; -repeat > 1 is a contradiction")
 		os.Exit(2)
 	}
 
@@ -245,7 +312,20 @@ func main() {
 				err, hub.Workers())
 		}
 		fmt.Printf("%d workers connected; trials will be dispatched remotely\n", hub.Workers())
-		rc.cluster = distrib.NewCluster(hub)
+		if *warm {
+			// The suite's cache IS the fleet master: entries loaded from
+			// -cache-file ship to workers in the warm snapshot (the old
+			// behaviour — coordinator-side only — is what WarmFlags
+			// rejects), and every job's epilogue folds back in here.
+			rc.cluster = distrib.NewClusterWithCache(hub, rc.cache)
+			rc.cluster.Master.Logf = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+		} else {
+			// Cold: no master, no hub WarmSource — workers start every
+			// job with an empty cache, the pre-warm-tier behaviour.
+			rc.cluster = &distrib.Cluster{Hub: hub}
+		}
 		rc.cluster.TrialLease = *lease
 	}
 
@@ -255,22 +335,35 @@ func main() {
 		return
 	}
 
-	switch *fig {
-	case "table3":
-		runTable3()
-	case "10":
-		runFig10(rc)
-	case "11":
-		runFig11(rc, pickTopo(*topoName), *quick)
-	case "12":
-		runFig12(rc, pickTopo(*topoName), *quick, *jsonPath)
-	case "mirror":
-		runMirror(rc, pickTopo(*topoName), *quick, *jsonPath)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
-		os.Exit(1)
+	for it := 1; it <= *repeat; it++ {
+		if *repeat > 1 {
+			fmt.Printf("\n=== suite pass %d of %d ===\n", it, *repeat)
+		}
+		rc.beginPass()
+		switch *fig {
+		case "table3":
+			runTable3()
+		case "10":
+			runFig10(rc)
+		case "11":
+			runFig11(rc, pickTopo(*topoName), *quick)
+		case "12":
+			runFig12(rc, pickTopo(*topoName), *quick, iterPath(*jsonPath, it))
+		case "mirror":
+			runMirror(rc, pickTopo(*topoName), *quick, iterPath(*jsonPath, it))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+			os.Exit(1)
+		}
 	}
 
+	if rc.cluster != nil && rc.cluster.Master != nil {
+		ws := rc.cluster.Master.Stats()
+		fs := rc.cluster.Hub.Stats()
+		fmt.Printf("warm tier: snapshot v%d with %d entries; folded %d job epilogue(s) / %d new entries; snapshots sent %d (%d B), skipped %d (%d B saved)\n",
+			ws.SnapshotVersion, ws.Entries, ws.FoldedJobs, ws.FoldedEntries,
+			fs.WarmSends, fs.WarmBytesSent, fs.WarmSkips, fs.WarmBytesSkipped)
+	}
 	saveCaches(rc, *cacheFile, saveCoverage, *coverFile)
 }
 
@@ -569,7 +662,6 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 		}
 	}
 	if jsonPath != "" {
-		hits, misses := rc.cache.Stats()
 		f := &bench.RoutingBenchFile{
 			Topology:            topo.Name,
 			LayoutTrials:        rc.layout.LayoutTrials,
@@ -579,16 +671,10 @@ func runFig12(rc *runConfig, topo *topology.Topology, quick bool, jsonPath strin
 			Parallelism:         pool.Size(rc.layout.Parallelism),
 			GOMAXPROCS:          runtime.GOMAXPROCS(0),
 			TotalWallMS:         float64(total.Microseconds()) / 1000,
-			Cache: &bench.RoutingCacheStats{
-				LoadedEntries: rc.cacheLoaded,
-				FinalEntries:  rc.cache.Len(),
-				Hits:          hits,
-				Misses:        misses,
-				HitRate:       rc.cache.HitRate(),
-			},
-			Fleet:   rc.fleetStats(),
-			Rows:    rows,
-			Kernels: kernelRows,
+			Cache:               rc.cacheStats(),
+			Fleet:               rc.fleetStats(),
+			Rows:                rows,
+			Kernels:             kernelRows,
 		}
 		if err := f.WriteFile(jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -652,7 +738,6 @@ func runMirror(rc *runConfig, topo *topology.Topology, quick bool, jsonPath stri
 	total := time.Since(start)
 	fmt.Printf("total runtime: %s\n", total.Round(time.Millisecond))
 	if jsonPath != "" {
-		hits, misses := rc.cache.Stats()
 		f := &bench.RoutingBenchFile{
 			Topology:            topo.Name,
 			LayoutTrials:        rc.layout.LayoutTrials,
@@ -662,15 +747,9 @@ func runMirror(rc *runConfig, topo *topology.Topology, quick bool, jsonPath stri
 			Parallelism:         pool.Size(rc.layout.Parallelism),
 			GOMAXPROCS:          runtime.GOMAXPROCS(0),
 			TotalWallMS:         float64(total.Microseconds()) / 1000,
-			Cache: &bench.RoutingCacheStats{
-				LoadedEntries: rc.cacheLoaded,
-				FinalEntries:  rc.cache.Len(),
-				Hits:          hits,
-				Misses:        misses,
-				HitRate:       rc.cache.HitRate(),
-			},
-			Fleet: rc.fleetStats(),
-			Rows:  rows,
+			Cache:               rc.cacheStats(),
+			Fleet:               rc.fleetStats(),
+			Rows:                rows,
 		}
 		if err := f.WriteFile(jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)

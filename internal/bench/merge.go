@@ -71,6 +71,16 @@ func MergeRoutingFiles(frags []*RoutingBenchFile) (*RoutingBenchFile, error) {
 			cache.FinalEntries += f.Cache.FinalEntries
 			cache.Hits += f.Cache.Hits
 			cache.Misses += f.Cache.Misses
+			// Warm-tier fields: fold counts sum like the other cache
+			// statistics; each fragment's master snapshot versions
+			// independently, so the merged version is the max — "the
+			// newest snapshot any shard reached", not a meaningful sum.
+			cache.WarmEntries += f.Cache.WarmEntries
+			cache.FoldedJobs += f.Cache.FoldedJobs
+			cache.FoldedEntries += f.Cache.FoldedEntries
+			if f.Cache.SnapshotVersion > cache.SnapshotVersion {
+				cache.SnapshotVersion = f.Cache.SnapshotVersion
+			}
 		}
 		if f.Fleet != nil {
 			if fleet == nil {
@@ -86,6 +96,10 @@ func MergeRoutingFiles(frags []*RoutingBenchFile) (*RoutingBenchFile, error) {
 			fleet.LocalItems += f.Fleet.LocalItems
 			fleet.Degraded += f.Fleet.Degraded
 			fleet.Recovered += f.Fleet.Recovered
+			fleet.WarmSends += f.Fleet.WarmSends
+			fleet.WarmSkips += f.Fleet.WarmSkips
+			fleet.WarmBytesSent += f.Fleet.WarmBytesSent
+			fleet.WarmBytesSkipped += f.Fleet.WarmBytesSkipped
 		}
 		if len(f.Kernels) > 0 {
 			if len(out.Kernels) > 0 {

@@ -45,12 +45,24 @@ type RoutingRow struct {
 
 // RoutingCacheStats reports decomposition-cost cache effectiveness for
 // the run, including warm-start bookkeeping when -cache-file is used.
+// On distributed runs with the warm tier the hits/misses are
+// fleet-wide (worker epilogue counters fold into the master cache),
+// and the Warm* fields describe the master: the snapshot version
+// current at the end of the run, the entries it held, and how many
+// job epilogues/entries folded in. On a -repeat run each file reports
+// the hits/misses of its own iteration, which is what lets CI assert
+// a warmed second pass hits strictly more.
 type RoutingCacheStats struct {
 	LoadedEntries int     `json:"loaded_entries"` // entries merged from the snapshot at startup
 	FinalEntries  int     `json:"final_entries"`  // entries resident at shutdown
 	Hits          int64   `json:"hits"`
 	Misses        int64   `json:"misses"`
 	HitRate       float64 `json:"hit_rate"`
+
+	SnapshotVersion uint64 `json:"snapshot_version,omitempty"`
+	WarmEntries     int    `json:"warm_entries,omitempty"`
+	FoldedJobs      int64  `json:"folded_jobs,omitempty"`
+	FoldedEntries   int64  `json:"folded_entries,omitempty"`
 }
 
 // FleetEventStats surfaces the dispatch hub's failure-event counters
@@ -67,6 +79,10 @@ type RoutingCacheStats struct {
 // whether these are zero or not — the counters exist so a chaos or
 // crash-recovery run can PROVE recovery happened rather than silently
 // not injecting the fault.
+//
+// The Warm* fields mirror dispatch.FleetStats: warm-snapshot blobs
+// shipped vs skipped via the version handshake, and the transfer
+// bytes paid vs avoided.
 type FleetEventStats struct {
 	Releases     int64 `json:"releases"`
 	Revocations  int64 `json:"revocations"`
@@ -78,6 +94,11 @@ type FleetEventStats struct {
 	LocalItems   int64 `json:"local_items"`
 	Degraded     int64 `json:"degraded"`
 	Recovered    int64 `json:"recovered"`
+
+	WarmSends        int64 `json:"warm_sends,omitempty"`
+	WarmSkips        int64 `json:"warm_skips,omitempty"`
+	WarmBytesSent    int64 `json:"warm_bytes_sent,omitempty"`
+	WarmBytesSkipped int64 `json:"warm_bytes_skipped,omitempty"`
 }
 
 // RoutingBenchFile is the top-level BENCH_routing.json document.

@@ -160,7 +160,7 @@ func startPoisonWorkers(t *testing.T, h *Hub, n, poison int) {
 	for w := 0; w < n; w++ {
 		server, client := net.Pipe()
 		handlers := map[string]Handler{
-			"score": func(spec []byte) (JobRunner, error) {
+			"score": func(spec, warm []byte) (JobRunner, error) {
 				return &poisonRunner{conn: client, poison: poison}, nil
 			},
 		}

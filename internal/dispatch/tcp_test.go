@@ -40,7 +40,7 @@ func testHandlers(fail int) map[string]Handler { return slowHandlers(fail, 0) }
 
 func slowHandlers(fail int, delay time.Duration) map[string]Handler {
 	return map[string]Handler{
-		"score": func(spec []byte) (JobRunner, error) {
+		"score": func(spec, warm []byte) (JobRunner, error) {
 			if string(spec) == "decline" {
 				return nil, errors.New("declined by spec")
 			}

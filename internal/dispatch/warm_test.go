@@ -1,0 +1,193 @@
+package dispatch
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// stubWarm is a settable WarmSource for handshake tests.
+type stubWarm struct {
+	mu sync.Mutex
+	ws WarmState
+}
+
+func (s *stubWarm) set(version uint64, blob []byte) {
+	s.mu.Lock()
+	s.ws = WarmState{Version: version, Blob: blob}
+	s.mu.Unlock()
+}
+
+func (s *stubWarm) Warm(string) (WarmState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ws.Version == 0 {
+		return WarmState{}, false
+	}
+	return s.ws, true
+}
+
+// warmRecorder's handlers record the warm bytes each job launch saw.
+type warmRecorder struct {
+	mu  sync.Mutex
+	got [][]byte
+}
+
+func (r *warmRecorder) handlers() map[string]Handler {
+	return map[string]Handler{
+		"score": func(spec, warm []byte) (JobRunner, error) {
+			r.mu.Lock()
+			r.got = append(r.got, warm)
+			r.mu.Unlock()
+			if string(spec) == "decline" {
+				return nil, errors.New("declined by spec")
+			}
+			return &scoreJob{f: func(i int) float64 { return float64((i*31 + 7) % 23) }, fail: -1}, nil
+		},
+	}
+}
+
+func (r *warmRecorder) launches() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]byte(nil), r.got...)
+}
+
+// TestWarmVersionHandshake pins the transfer-once contract: the blob
+// ships to each worker on the first job, later jobs at the same
+// version send only the reference (the worker resolves its held copy),
+// and a version bump re-ships.
+func TestWarmVersionHandshake(t *testing.T) {
+	src := &stubWarm{}
+	blob1 := []byte("snapshot-v1")
+	src.set(1, blob1)
+	rec := &warmRecorder{}
+	h := NewHub()
+	h.Warm = src
+	startWorkers(t, h, 2, rec.handlers(), nil)
+	defer h.Close()
+
+	runScoreJob(t, h, 20, 2, 0)
+	st := h.Stats()
+	if st.WarmSends != 2 || st.WarmSkips != 0 {
+		t.Fatalf("job 1: sends=%d skips=%d, want 2 sends (one per worker)", st.WarmSends, st.WarmSkips)
+	}
+	if st.WarmBytesSent != int64(2*len(blob1)) {
+		t.Fatalf("job 1: bytes sent %d, want %d", st.WarmBytesSent, 2*len(blob1))
+	}
+
+	// Same version: version-only references, resolved from the held copy.
+	runScoreJob(t, h, 20, 2, 0)
+	st = h.Stats()
+	if st.WarmSends != 2 || st.WarmSkips != 2 {
+		t.Fatalf("job 2: sends=%d skips=%d, want 2 sends / 2 skips", st.WarmSends, st.WarmSkips)
+	}
+	if st.WarmBytesSkipped != int64(2*len(blob1)) {
+		t.Fatalf("job 2: bytes skipped %d, want %d", st.WarmBytesSkipped, 2*len(blob1))
+	}
+	for i, w := range rec.launches() {
+		if !bytes.Equal(w, blob1) {
+			t.Fatalf("launch %d saw warm %q, want %q", i, w, blob1)
+		}
+	}
+
+	// Version bump: the new blob ships again.
+	blob2 := []byte("snapshot-v2-grown")
+	src.set(2, blob2)
+	runScoreJob(t, h, 20, 2, 0)
+	st = h.Stats()
+	if st.WarmSends != 4 || st.WarmSkips != 2 {
+		t.Fatalf("job 3: sends=%d skips=%d, want 4 sends / 2 skips", st.WarmSends, st.WarmSkips)
+	}
+	ls := rec.launches()
+	if len(ls) != 6 {
+		t.Fatalf("%d launches, want 6", len(ls))
+	}
+	for _, w := range ls[4:] {
+		if !bytes.Equal(w, blob2) {
+			t.Fatalf("post-bump launch saw warm %q, want %q", w, blob2)
+		}
+	}
+}
+
+// TestWarmNoSourceSendsBare: with no WarmSource the job carries no
+// warm fields and the handler sees nil.
+func TestWarmNoSourceSendsBare(t *testing.T) {
+	rec := &warmRecorder{}
+	h := NewHub()
+	startWorkers(t, h, 1, rec.handlers(), nil)
+	defer h.Close()
+	runScoreJob(t, h, 10, 2, 0)
+	st := h.Stats()
+	if st.WarmSends != 0 || st.WarmSkips != 0 {
+		t.Fatalf("bare hub recorded warm traffic: sends=%d skips=%d", st.WarmSends, st.WarmSkips)
+	}
+	for i, w := range rec.launches() {
+		if w != nil {
+			t.Fatalf("launch %d saw warm %q, want nil", i, w)
+		}
+	}
+}
+
+// TestWarmDeclineForcesReship: a declined job clears the hub's
+// warm-version record for that connection, so the next job re-ships
+// the blob instead of sending a reference the worker may not hold.
+func TestWarmDeclineForcesReship(t *testing.T) {
+	src := &stubWarm{}
+	src.set(1, []byte("snapshot"))
+	rec := &warmRecorder{}
+	h := NewHub()
+	h.Warm = src
+	startWorkers(t, h, 1, rec.handlers(), nil)
+	defer h.Close()
+
+	q := NewQueue(10, 2, func(int, float64) bool { return false })
+	if _, err := RunJob(h, "score", []byte("decline"), q, func(wi WireItem) (float64, error) { return wi.Score, nil }); err == nil {
+		t.Fatal("declined job reported success")
+	}
+	if st := h.Stats(); st.WarmSends != 1 {
+		t.Fatalf("declined job: sends=%d, want 1", st.WarmSends)
+	}
+
+	// The record was cleared on decline: a full send, not a skip.
+	runScoreJob(t, h, 10, 2, 0)
+	st := h.Stats()
+	if st.WarmSends != 2 || st.WarmSkips != 0 {
+		t.Fatalf("post-decline job: sends=%d skips=%d, want a re-ship", st.WarmSends, st.WarmSkips)
+	}
+	// And from here the handshake skips as usual.
+	runScoreJob(t, h, 10, 2, 0)
+	if st := h.Stats(); st.WarmSkips != 1 {
+		t.Fatalf("third job: skips=%d, want 1", st.WarmSkips)
+	}
+}
+
+// TestResolveWarm unit-tests the worker side of the handshake: blobs
+// are retained per kind, matching version-only references resolve to
+// the held copy, and unresolvable references fail with warmMissError
+// (the decline the coordinator self-heals from).
+func TestResolveWarm(t *testing.T) {
+	w := &serveState{}
+	if b, err := w.resolveWarm(wireJob{Kind: "k"}); err != nil || b != nil {
+		t.Fatalf("bare job resolved to (%q, %v), want (nil, nil)", b, err)
+	}
+	var miss *warmMissError
+	if _, err := w.resolveWarm(wireJob{Kind: "k", WarmVersion: 3}); !errors.As(err, &miss) {
+		t.Fatalf("never-received reference resolved (err=%v), want warmMissError", err)
+	}
+	blob := []byte("snapshot-v3")
+	if b, err := w.resolveWarm(wireJob{Kind: "k", WarmVersion: 3, WarmBlob: blob}); err != nil || !bytes.Equal(b, blob) {
+		t.Fatalf("shipped blob resolved to (%q, %v)", b, err)
+	}
+	if b, err := w.resolveWarm(wireJob{Kind: "k", WarmVersion: 3}); err != nil || !bytes.Equal(b, blob) {
+		t.Fatalf("held-version reference resolved to (%q, %v)", b, err)
+	}
+	if _, err := w.resolveWarm(wireJob{Kind: "k", WarmVersion: 4}); !errors.As(err, &miss) {
+		t.Fatalf("stale-version reference resolved (err=%v), want warmMissError", err)
+	}
+	// Kinds partition the held snapshots.
+	if _, err := w.resolveWarm(wireJob{Kind: "other", WarmVersion: 3}); !errors.As(err, &miss) {
+		t.Fatalf("cross-kind reference resolved (err=%v), want warmMissError", err)
+	}
+}

@@ -5,11 +5,20 @@ package dispatch
 // coordinator -> worker direction is strictly lockstep, so those
 // messages need no envelope:
 //
-//	coordinator -> worker   wireJob{Kind, Spec}
+//	coordinator -> worker   wireJob{Kind, Spec, WarmVersion[, WarmBlob]}
 //	repeat:
 //	  coordinator -> worker wireLease{ID, Lo, Hi}
 //	finally:
 //	  coordinator -> worker wireLease{Done: true}
+//
+// WarmVersion/WarmBlob carry the coordinator's warm-state snapshot
+// (Hub.Warm): WarmVersion > 0 with a blob ships the snapshot and the
+// worker retains it per kind; WarmVersion > 0 with a nil blob is the
+// version handshake — "use the version you already hold" — so a
+// persistent worker pays the transfer once per snapshot version. A
+// worker referenced a version it does not hold declines the job
+// loudly (msgReady.Err), and the coordinator re-ships on the next
+// job.
 //
 // The worker -> coordinator direction is a tagged union (wireMsg),
 // because a worker executing a lease interleaves liveness heartbeats
@@ -46,6 +55,13 @@ type WireItem struct {
 type wireJob struct {
 	Kind string
 	Spec []byte
+
+	// WarmVersion/WarmBlob are the warm-state tier (see Hub.Warm).
+	// Zero WarmVersion means the job ships no warm state. gob omits
+	// zero-valued fields, so pre-warm coordinators and workers
+	// interoperate unchanged.
+	WarmVersion uint64
+	WarmBlob    []byte
 }
 
 type wireLease struct {

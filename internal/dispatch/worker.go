@@ -15,9 +15,12 @@ import (
 // Handler prepares one job kind on the worker: it decodes the opaque
 // spec, builds whatever shared immutable state the job needs (a
 // prepared TrialRunner DAG, a decoded circuit batch), and returns the
-// runner that executes individual work indices. Returning an error
-// declines the job; the worker stays connected for the next one.
-type Handler func(spec []byte) (JobRunner, error)
+// runner that executes individual work indices. warm is the job's
+// warm-state blob (nil when the coordinator shipped none; see
+// WarmSource) — a pure speedup seam, so a handler must produce
+// identical results with or without it. Returning an error declines
+// the job; the worker stays connected for the next one.
+type Handler func(spec, warm []byte) (JobRunner, error)
 
 // JobRunner executes the work indices of one prepared job. Run is
 // called from a single goroutine in ascending index order within each
@@ -83,6 +86,11 @@ type serveState struct {
 	dec   *gob.Decoder
 	opts  *ServeOptions
 	chaos *ChaosConfig
+
+	// warmHeld retains the last warm snapshot shipped per job kind, so
+	// a version-only reference on a later job resolves without a
+	// re-transfer. Only the serve loop touches it.
+	warmHeld map[string]WarmState
 
 	progress atomic.Int64 // items finished in the current lease
 
@@ -167,7 +175,11 @@ func (w *serveState) serve(handlers map[string]Handler) error {
 			}
 			return err
 		}
-		runner, prepErr := prepare(handlers, job)
+		warm, prepErr := w.resolveWarm(job)
+		var runner JobRunner
+		if prepErr == nil {
+			runner, prepErr = prepare(handlers, job, warm)
+		}
 		if prepErr != nil {
 			if err := w.send(wireMsg{Kind: msgReady, Err: prepErr.Error()}); err != nil {
 				return err
@@ -330,7 +342,7 @@ func (h *heartbeater) halt() {
 	<-h.done
 }
 
-func prepare(handlers map[string]Handler, job wireJob) (runner JobRunner, err error) {
+func prepare(handlers map[string]Handler, job wireJob, warm []byte) (runner JobRunner, err error) {
 	h, ok := handlers[job.Kind]
 	if !ok {
 		return nil, fmt.Errorf("dispatch: unknown job kind %q", job.Kind)
@@ -340,7 +352,7 @@ func prepare(handlers map[string]Handler, job wireJob) (runner JobRunner, err er
 			runner, err = nil, fmt.Errorf("dispatch: preparing job %q: panic: %v", job.Kind, r)
 		}
 	}()
-	return h(job.Spec)
+	return h(job.Spec, warm)
 }
 
 func runSafe(r JobRunner, i int) (item WireItem) {

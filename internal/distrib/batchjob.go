@@ -123,7 +123,7 @@ type batchJob struct {
 	cache    *polytope.CostCache
 }
 
-func batchHandler(raw []byte) (dispatch.JobRunner, error) {
+func batchHandler(raw, warm []byte) (dispatch.JobRunner, error) {
 	var spec batchSpec
 	if err := decodeSpec(raw, &spec); err != nil {
 		return nil, fmt.Errorf("distrib: decoding batch spec: %w", err)
@@ -138,7 +138,10 @@ func batchHandler(raw []byte) (dispatch.JobRunner, error) {
 			return nil, err
 		}
 	}
-	cache := polytope.NewCostCache(0)
+	cache, err := warmJobCache(warm)
+	if err != nil {
+		return nil, err
+	}
 	opts := transpile.Options{
 		DepthSelection:      spec.Opts.Policy.DepthSelection,
 		Basis:               spec.Opts.Policy.coverage(),
@@ -174,20 +177,12 @@ func (j *batchJob) Run(i int) dispatch.WireItem {
 	return dispatch.WireItem{Index: i, Blob: blob}
 }
 
-// Epilogue ships the worker's warmed cost cache home for the
-// coordinator's Merge reduction. An unmergeable cache (empty, or mixed
-// — impossible under a single recipe basis, but guarded anyway) ships
-// nothing.
-func (j *batchJob) Epilogue() []byte {
-	if j.cache.Len() == 0 {
-		return nil
-	}
-	var buf bytes.Buffer
-	if err := j.cache.Save(&buf); err != nil {
-		return nil
-	}
-	return buf.Bytes()
-}
+// Epilogue ships the job cache's delta home for the coordinator's
+// Merge reduction: only entries learned on top of the warm seed, plus
+// the job's own hit/miss counters. An untouched or unmergeable cache
+// (mixed — impossible under a single recipe basis, but guarded
+// anyway) ships nothing.
+func (j *batchJob) Epilogue() []byte { return cacheEpilogue(j.cache) }
 
 // TranspileBatch is the distributed counterpart of
 // transpile.TranspileBatch: circuits are sharded across the cluster at
@@ -241,7 +236,12 @@ func (cl *Cluster) TranspileBatch(circuits []*circuit.Circuit, topo *topology.To
 	if err != nil {
 		return nil, err
 	}
-	if opts.Cache != nil {
+	if err := cl.foldEpilogues(epilogues); err != nil {
+		return nil, err
+	}
+	// Callers holding their own cache (distinct from the master) still
+	// get the fleet's entries merged in — the pre-warm-tier contract.
+	if opts.Cache != nil && (cl.Master == nil || cl.Master.Cache() != opts.Cache) {
 		for _, ep := range epilogues {
 			if len(ep) == 0 {
 				continue

@@ -37,6 +37,7 @@ import (
 	"encoding/gob"
 
 	"repro/internal/dispatch"
+	"repro/internal/polytope"
 )
 
 // Job kinds served by MIRAGE workers.
@@ -57,10 +58,38 @@ type Cluster struct {
 	// CircuitLease is the number of batch circuits per lease (default
 	// 1: circuits are seconds, one per lease balances best).
 	CircuitLease int
+	// Master is the hub-resident master cost cache of the warm tier:
+	// job epilogues fold into it and subsequent jobs are re-seeded
+	// from its versioned snapshot (see warm.go). Nil disables the
+	// tier — every job starts cold, the pre-warm behaviour.
+	Master *MasterCache
 }
 
-// NewCluster returns a Cluster with default lease sizes.
-func NewCluster(h *dispatch.Hub) *Cluster { return &Cluster{Hub: h} }
+// NewCluster returns a Cluster with default lease sizes and the warm
+// tier enabled over a fresh master cache.
+func NewCluster(h *dispatch.Hub) *Cluster { return NewClusterWithCache(h, nil) }
+
+// NewClusterWithCache returns a Cluster whose master cache wraps cc
+// (nil builds a fresh one): the caller's cache — a benchsuite
+// -cache-file warm start, a service's long-lived cache — becomes the
+// fleet's warm seed, and fleet epilogues fold back into it. The
+// hub's WarmSource is pointed at the master unless already set.
+func NewClusterWithCache(h *dispatch.Hub, cc *polytope.CostCache) *Cluster {
+	m := NewMasterCache(cc)
+	if h.Warm == nil {
+		h.Warm = m
+	}
+	return &Cluster{Hub: h, Master: m}
+}
+
+// foldEpilogues folds a completed job's cache epilogues into the
+// master (a no-op for a cold cluster).
+func (cl *Cluster) foldEpilogues(epilogues [][]byte) error {
+	if cl.Master == nil {
+		return nil
+	}
+	return cl.Master.Fold(epilogues)
+}
 
 func (cl *Cluster) trialLease() int {
 	if cl.TrialLease > 0 {

@@ -26,16 +26,18 @@ type trialSpec struct {
 
 // trialJob is the worker-side state of one KindTrials job: the
 // prepared runner (shared FlatDAG + reusable arena) plus the
-// recipe-built metric and policy factory.
+// recipe-built metric and policy factory, sharing one job cost cache
+// (warm-seeded when the coordinator shipped a snapshot).
 type trialJob struct {
 	runner  *sabre.TrialRunner
 	layouts []*topology.Layout
 	opts    sabre.LayoutOptions
 	metric  sabre.Metric
 	factory sabre.PolicyFactory
+	cache   *polytope.CostCache
 }
 
-func trialHandler(raw []byte) (dispatch.JobRunner, error) {
+func trialHandler(raw, warm []byte) (dispatch.JobRunner, error) {
 	var spec trialSpec
 	if err := decodeSpec(raw, &spec); err != nil {
 		return nil, fmt.Errorf("distrib: decoding trial spec: %w", err)
@@ -64,10 +66,16 @@ func trialHandler(raw []byte) (dispatch.JobRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	// One cost cache per job: decomposition costs are deterministic, so
-	// caching is a pure speedup and needs no cross-worker coherence.
-	metric, factory := spec.Policy.build(polytope.NewCostCache(0))
-	return &trialJob{runner: runner, layouts: layouts, opts: opts, metric: metric, factory: factory}, nil
+	// One cost cache per job, seeded from the coordinator's warm
+	// snapshot when one shipped: decomposition costs are
+	// deterministic, so caching is a pure speedup and needs no
+	// cross-worker coherence — warmth changes latency, never results.
+	cache, err := warmJobCache(warm)
+	if err != nil {
+		return nil, err
+	}
+	metric, factory := spec.Policy.build(cache)
+	return &trialJob{runner: runner, layouts: layouts, opts: opts, metric: metric, factory: factory, cache: cache}, nil
 }
 
 func (j *trialJob) Run(t int) dispatch.WireItem {
@@ -82,7 +90,10 @@ func (j *trialJob) Run(t int) dispatch.WireItem {
 	return dispatch.WireItem{Index: t, Score: j.metric(res)}
 }
 
-func (j *trialJob) Epilogue() []byte { return nil }
+// Epilogue ships the job cache's delta home for the master-cache
+// fold. Before the warm tier, trial-job caches were discarded — every
+// FindBestRouting grid re-ran the same Nelder-Mead fits fleet-wide.
+func (j *trialJob) Epilogue() []byte { return cacheEpilogue(j.cache) }
 
 // FindBestRouting is the distributed counterpart of
 // sabre.FindBestRouting: wave 1 (layout refinement) runs locally, the
@@ -127,8 +138,12 @@ func (cl *Cluster) FindBestRouting(pc *sabre.PreparedCircuit,
 	n := opts.LayoutTrials * opts.RoutingTrials
 	sel := sabre.NewTrialSelector(opts.ConvergencePatience)
 	q := dispatch.NewQueue(n, cl.trialLease(), sel.Consume)
-	if _, err := dispatch.RunJob(cl.Hub, KindTrials, raw, q,
-		func(wi dispatch.WireItem) (float64, error) { return wi.Score, nil }); err != nil {
+	epilogues, err := dispatch.RunJob(cl.Hub, KindTrials, raw, q,
+		func(wi dispatch.WireItem) (float64, error) { return wi.Score, nil })
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.foldEpilogues(epilogues); err != nil {
 		return nil, err
 	}
 

@@ -31,6 +31,12 @@ type CostCache struct {
 	basisMu    sync.Mutex
 	basis      string
 	basisMixed bool
+
+	// baseline is the key set recorded by MarkBaseline: SaveDelta
+	// skips these keys, so a warm-seeded worker ships home only what
+	// it learned, not the snapshot it was seeded with.
+	baseMu   sync.Mutex
+	baseline map[cacheKey]struct{}
 }
 
 type cacheShard struct {
@@ -322,6 +328,12 @@ type snapshot struct {
 // keys carry no basis identity, so a mixed snapshot could silently
 // serve another basis's costs when reloaded.
 func (cc *CostCache) Save(w io.Writer) error {
+	return cc.save(w, nil)
+}
+
+// save serialises the cache, skipping the given key set (nil skips
+// nothing). Shared body of Save and SaveDelta.
+func (cc *CostCache) save(w io.Writer, skip map[cacheKey]struct{}) error {
 	cc.basisMu.Lock()
 	basis, mixed := cc.basis, cc.basisMixed
 	cc.basisMu.Unlock()
@@ -334,6 +346,9 @@ func (cc *CostCache) Save(w io.Writer) error {
 		s.mu.Lock()
 		for el := s.ll.Back(); el != nil; el = el.Prev() {
 			e := el.Value.(*cacheEntry)
+			if _, ok := skip[e.key]; ok {
+				continue
+			}
 			snap.Entries = append(snap.Entries, savedEntry{
 				X: e.key.x, Y: e.key.y, Z: e.key.z, Mirror: e.key.mirror,
 				Cost: e.cost, K: e.k,
@@ -342,6 +357,69 @@ func (cc *CostCache) Save(w io.Writer) error {
 		s.mu.Unlock()
 	}
 	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// MarkBaseline records the current key set as the cache's baseline.
+// A worker seeded from a warm snapshot calls it right after Load, so
+// SaveDelta later ships home only the entries the job added — the
+// master cache already holds everything in the baseline. Calling it
+// again replaces the previous baseline.
+func (cc *CostCache) MarkBaseline() {
+	base := make(map[cacheKey]struct{}, cc.Len())
+	for _, s := range cc.shards {
+		s.mu.Lock()
+		for key := range s.items {
+			base[key] = struct{}{}
+		}
+		s.mu.Unlock()
+	}
+	cc.baseMu.Lock()
+	cc.baseline = base
+	cc.baseMu.Unlock()
+}
+
+// SaveDelta serialises the entries added since MarkBaseline (all
+// entries when no baseline was marked), with the cache's cumulative
+// hit/miss counters — a warm-seeded job cache starts its counters at
+// zero, so the delta snapshot carries the job's own statistics home
+// alongside only the newly learned entries. The same guards as Save
+// apply.
+func (cc *CostCache) SaveDelta(w io.Writer) error {
+	cc.baseMu.Lock()
+	base := cc.baseline
+	cc.baseMu.Unlock()
+	return cc.save(w, base)
+}
+
+// Fingerprint returns an order-independent hash of the cache contents
+// (keys, costs, gate counts — not recency, counters, or capacity).
+// Two caches holding the same entries fingerprint identically no
+// matter how the entries arrived, which is what the warm-tier
+// determinism tests pin: merge-of-epilogues == combined run.
+func (cc *CostCache) Fingerprint() uint64 {
+	const prime = 1099511628211
+	var sum uint64
+	for _, s := range cc.shards {
+		s.mu.Lock()
+		for el := s.ll.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			h := uint64(14695981039346656037)
+			for _, v := range [5]uint64{
+				uint64(e.key.x), uint64(e.key.y), uint64(e.key.z),
+				math.Float64bits(e.cost), uint64(e.k),
+			} {
+				h ^= v
+				h *= prime
+			}
+			if e.key.mirror {
+				h ^= 1
+				h *= prime
+			}
+			sum += h // commutative fold: iteration order cannot matter
+		}
+		s.mu.Unlock()
+	}
+	return sum
 }
 
 // Load merges a snapshot produced by Save into the cache, returning

@@ -142,6 +142,16 @@ func LoadCoverageSet(r io.Reader) (*CoverageSet, error) {
 
 // --- Registry-level persistence (the NewISwapRootCoverage cache) ---
 
+// RootCoverageCount returns how many iSWAP-root coverage sets the
+// process registry currently holds — the cheap change detector the
+// warm-snapshot tier uses to decide whether a re-serialisation (and a
+// version bump) is due.
+func RootCoverageCount() int {
+	iswapRootCacheMu.Lock()
+	defer iswapRootCacheMu.Unlock()
+	return len(iswapRootCache)
+}
+
 // SaveRootCoverage serialises every iSWAP-root coverage set currently
 // cached in the process registry (sorted by root for determinism).
 func SaveRootCoverage(w io.Writer) error {

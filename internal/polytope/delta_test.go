@@ -1,0 +1,130 @@
+package polytope
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/weyl"
+)
+
+// TestCostCacheSaveDeltaShipsOnlyNewEntries pins the warm-tier wire
+// economy: a worker seeded from a snapshot ships home only the entries
+// it added on top of the baseline, with its own (job-local) counters.
+func TestCostCacheSaveDeltaShipsOnlyNewEntries(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	rng := rand.New(rand.NewSource(51))
+	coords := make([]weyl.Coordinate, 80)
+	for i := range coords {
+		coords[i] = weyl.HaarSample(rng)
+	}
+
+	master := NewCostCache(0)
+	for _, c := range coords[:50] {
+		master.CostOf(cs, c, false)
+	}
+	var snap bytes.Buffer
+	if err := master.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker: seed from the snapshot, mark the baseline, run a workload
+	// that overlaps the seed (hits) and extends past it (new entries).
+	worker := NewCostCache(0)
+	if _, err := worker.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	worker.MarkBaseline()
+	for _, c := range coords[25:] {
+		worker.CostOf(cs, c, false)
+	}
+	wantNew := worker.Len() - master.Len()
+	if wantNew <= 0 {
+		t.Fatalf("fixture degenerate: worker added %d entries", wantNew)
+	}
+	jobHits, jobMisses := worker.Stats()
+	if jobHits == 0 || jobMisses == 0 {
+		t.Fatalf("fixture degenerate: job stats (%d, %d) need both hits and misses", jobHits, jobMisses)
+	}
+
+	var delta bytes.Buffer
+	if err := worker.SaveDelta(&delta); err != nil {
+		t.Fatal(err)
+	}
+	shard, err := LoadCache(bytes.NewReader(delta.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Len() != wantNew {
+		t.Fatalf("delta carries %d entries, want only the %d new ones", shard.Len(), wantNew)
+	}
+	if h, m := shard.Stats(); h != jobHits || m != jobMisses {
+		t.Fatalf("delta counters (%d, %d), want the job's own (%d, %d)", h, m, jobHits, jobMisses)
+	}
+
+	// Folding the delta into the master reproduces the combined run.
+	combined := NewCostCache(0)
+	for _, c := range coords {
+		combined.CostOf(cs, c, false)
+	}
+	if n, err := master.Merge(shard); err != nil || n != wantNew {
+		t.Fatalf("Merge = (%d, %v), want (%d, nil)", n, err, wantNew)
+	}
+	if master.Fingerprint() != combined.Fingerprint() {
+		t.Fatal("master + delta does not fingerprint-match the combined run")
+	}
+
+	// Without MarkBaseline, SaveDelta degrades to a full Save.
+	plain := NewCostCache(0)
+	for _, c := range coords[:20] {
+		plain.CostOf(cs, c, false)
+	}
+	var full bytes.Buffer
+	if err := plain.SaveDelta(&full); err != nil {
+		t.Fatal(err)
+	}
+	all, err := LoadCache(bytes.NewReader(full.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != plain.Len() {
+		t.Fatalf("baseline-less delta carries %d entries, want all %d", all.Len(), plain.Len())
+	}
+}
+
+// TestCostCacheFingerprint pins the order-independence the warm-tier
+// determinism tests rely on: same entries, any arrival order, same
+// fingerprint — and any content difference changes it.
+func TestCostCacheFingerprint(t *testing.T) {
+	cs := NewISwapRootCoverage(2)
+	rng := rand.New(rand.NewSource(52))
+	coords := make([]weyl.Coordinate, 60)
+	for i := range coords {
+		coords[i] = weyl.HaarSample(rng)
+	}
+
+	forward, backward := NewCostCache(0), NewCostCache(0)
+	for i := range coords {
+		forward.CostOf(cs, coords[i], i%2 == 0)
+		backward.CostOf(cs, coords[len(coords)-1-i], (len(coords)-1-i)%2 == 0)
+	}
+	if forward.Fingerprint() != backward.Fingerprint() {
+		t.Fatal("insertion order changed the fingerprint")
+	}
+	if NewCostCache(0).Fingerprint() != 0 {
+		t.Fatal("empty cache fingerprint not zero")
+	}
+	before := forward.Fingerprint()
+	forward.CostOf(cs, weyl.Coordinate{X: 0.31, Y: 0.17, Z: 0.02}, false)
+	if forward.Fingerprint() == before {
+		t.Fatal("adding an entry left the fingerprint unchanged")
+	}
+	// Counters do not participate: re-querying (pure hits) is invisible.
+	before = forward.Fingerprint()
+	for i, c := range coords {
+		forward.CostOf(cs, c, i%2 == 0)
+	}
+	if forward.Fingerprint() != before {
+		t.Fatal("cache hits changed the fingerprint")
+	}
+}
